@@ -1,0 +1,114 @@
+// Command artemis is the end-to-end JIT-compiler validation driver:
+// Algorithm 1 of the paper, at campaign scale, against the simulated
+// JVM profiles. It regenerates the paper's evaluation tables.
+//
+// Usage:
+//
+//	artemis -profile hotspotlike -seeds 200        # one campaign
+//	artemis -table1 -seeds 150                     # Table 1 across all profiles
+//	artemis -table2 -seeds 150                     # Table 2 (crash components)
+//	artemis -table4 -seeds 400                     # Table 4 (CSE vs traditional)
+//	artemis -selfcheck -seeds 50                   # correct VM: expect 0 findings
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"artemis/internal/harness"
+	"artemis/internal/profiles"
+)
+
+func main() {
+	profileName := flag.String("profile", "hotspotlike", "VM profile for single-campaign mode")
+	seeds := flag.Int("seeds", 100, "number of seed programs")
+	iters := flag.Int("iters", 8, "mutants per seed (MAX_ITER; the paper uses 8)")
+	seedBase := flag.Int64("seedbase", 0, "first fuzzer seed")
+	steps := flag.Int64("steps", 0, "per-run step budget (0 = default)")
+	confirm := flag.Bool("confirm", false, "confirm findings and bisect the responsible defect (slower)")
+	table1 := flag.Bool("table1", false, "regenerate Table 1 (all profiles)")
+	table2 := flag.Bool("table2", false, "regenerate Table 2 (crash components)")
+	table4 := flag.Bool("table4", false, "regenerate Table 4 (comparative study, openj9like)")
+	selfcheck := flag.Bool("selfcheck", false, "run against the CORRECT VM; any finding is a bug in this repository")
+	examples := flag.Bool("examples", false, "print example bug-triggering mutants")
+	flag.Parse()
+
+	switch {
+	case *table1 || *table2:
+		var all []*harness.CampaignStats
+		for _, prof := range profiles.All() {
+			fmt.Fprintf(os.Stderr, "campaign: %s (%d seeds x %d mutants)...\n", prof.Name, *seeds, *iters)
+			stats := harness.RunCampaign(harness.CampaignOptions{
+				Options: harness.Options{
+					Profile: prof, MaxIter: *iters, Buggy: true,
+					StepLimit: *steps, ConfirmAndFix: *confirm || *table1,
+				},
+				Seeds: *seeds, SeedBase: *seedBase,
+			})
+			all = append(all, stats)
+		}
+		if *table1 {
+			fmt.Println(harness.FormatTable1(all))
+		}
+		if *table2 {
+			fmt.Println(harness.FormatTable2(all))
+		}
+	case *table4:
+		prof, err := profiles.Get("openj9like")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "comparative campaign: openj9like (%d seeds)...\n", *seeds)
+		stats := harness.RunCampaign(harness.CampaignOptions{
+			Options:     harness.Options{Profile: prof, MaxIter: *iters, Buggy: true, StepLimit: *steps},
+			Seeds:       *seeds,
+			SeedBase:    *seedBase,
+			Comparative: true,
+		})
+		fmt.Println(harness.FormatTable4(stats))
+	default:
+		prof, err := profiles.Get(*profileName)
+		if err != nil {
+			fatal(err)
+		}
+		buggy := !*selfcheck
+		stats := harness.RunCampaign(harness.CampaignOptions{
+			Options: harness.Options{
+				Profile: prof, MaxIter: *iters, Buggy: buggy,
+				StepLimit: *steps, ConfirmAndFix: *confirm,
+			},
+			Seeds: *seeds, SeedBase: *seedBase,
+		})
+		fmt.Printf("profile %s: %d seeds, %d mutants, %d VM runs in %s (%.2f runs/s)\n",
+			stats.Profile, stats.Seeds, stats.Mutants, stats.Runs,
+			stats.Elapsed.Round(1e6), stats.Throughput())
+		fmt.Printf("discarded (timeout) seeds: %d\n", stats.DiscardedSeeds)
+		fmt.Printf("distinct findings: %d (+%d duplicate manifestations), flagged seeds: %d\n",
+			len(stats.Distinct), stats.Duplicates, stats.CSESeeds)
+		for _, f := range stats.Distinct {
+			extra := ""
+			if f.FixedBy != "" {
+				extra = " fixed-by=" + f.FixedBy
+			}
+			fmt.Printf("  [%s] %-36s x%d seed=%d detail=%q%s\n", f.Kind, f.Component, f.Count, f.SeedID, f.Detail, extra)
+		}
+		if *selfcheck {
+			if len(stats.Distinct) > 0 {
+				fmt.Println("SELF-CHECK FAILED: the correct VM produced discrepancies")
+				os.Exit(1)
+			}
+			fmt.Println("self-check passed: no false positives")
+		}
+		if *examples {
+			for i, ex := range stats.Examples {
+				fmt.Printf("\n--- example mutant %d ---\n%s", i, ex)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "artemis:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// Command mjfuzz emits random MJ seed programs (the JavaFuzzer
+// analogue of Section 4.1).
+//
+// Usage:
+//
+//	mjfuzz -seed 42                 # one program to stdout
+//	mjfuzz -n 100 -o seeds/        # seeds/seed_0.mj ... seeds/seed_99.mj
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"artemis/internal/fuzz"
+	"artemis/internal/lang/ast"
+)
+
+func main() {
+	seed := flag.Int64("seed", 0, "generator seed")
+	n := flag.Int("n", 1, "number of programs")
+	out := flag.String("o", "", "output directory (default: stdout)")
+	budget := flag.Int("budget", 0, "statement budget (default 90)")
+	flag.Parse()
+
+	for i := 0; i < *n; i++ {
+		p := fuzz.Generate(fuzz.Options{Seed: *seed + int64(i), StmtBudget: *budget})
+		src := ast.Print(p)
+		if *out == "" {
+			if *n > 1 {
+				fmt.Printf("// seed %d\n", *seed+int64(i))
+			}
+			fmt.Print(src)
+			continue
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*out, fmt.Sprintf("seed_%d.mj", *seed+int64(i)))
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mjfuzz:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,95 @@
+// Command mjreduce shrinks a bug-triggering MJ program while keeping
+// its JIT discrepancy alive (the Perses/C-Reduce step of the paper's
+// workflow).
+//
+// The predicate compares the program's behaviour on the seeded-defect
+// VM against pure interpretation:
+//
+//	-mode diff   keep programs whose compiled output differs (default)
+//	-mode crash  keep programs that crash the VM
+//
+// Usage:
+//
+//	mjreduce -profile openj9like mutant.mj > reduced.mj
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"artemis/internal/harness"
+	"artemis/internal/lang/ast"
+	"artemis/internal/lang/parser"
+	"artemis/internal/profiles"
+	"artemis/internal/reduce"
+	"artemis/internal/vm"
+)
+
+func main() {
+	profileName := flag.String("profile", "hotspotlike", "VM profile")
+	mode := flag.String("mode", "diff", "predicate: diff | crash")
+	steps := flag.Int64("steps", 100_000_000, "per-run step budget")
+	rounds := flag.Int("rounds", 12, "max reduction rounds")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mjreduce [flags] program.mj")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := parser.Parse(string(data))
+	if err != nil {
+		fatal(err)
+	}
+	prof, err := profiles.Get(*profileName)
+	if err != nil {
+		fatal(err)
+	}
+
+	runBoth := func(p *ast.Program) (*vm.Output, *vm.Output) {
+		bp := harness.Compile(p)
+		jit := prof.VMConfig(true)
+		jit.StepLimit = *steps
+		jitOut := vm.Run(jit, bp).Output
+		ref := prof.InterpreterConfig()
+		ref.StepLimit = *steps
+		refOut := vm.Run(ref, bp).Output
+		return jitOut, refOut
+	}
+
+	var keep reduce.Predicate
+	switch *mode {
+	case "crash":
+		keep = func(p *ast.Program) bool {
+			jitOut, _ := runBoth(p)
+			return jitOut.Term == vm.TermCrash
+		}
+	case "diff":
+		keep = func(p *ast.Program) bool {
+			jitOut, refOut := runBoth(p)
+			if jitOut.Term == vm.TermTimeout || refOut.Term == vm.TermTimeout {
+				return false
+			}
+			return !jitOut.Equivalent(refOut)
+		}
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	if !keep(prog) {
+		fatal(fmt.Errorf("input does not satisfy the %s predicate on %s", *mode, prof.Name))
+	}
+	before := ast.ProgramSize(prog)
+	small := reduce.Reduce(prog, keep, reduce.Options{MaxRounds: *rounds})
+	fmt.Fprintf(os.Stderr, "mjreduce: %d -> %d statements\n", before, ast.ProgramSize(small))
+	fmt.Print(ast.Print(small))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mjreduce:", err)
+	os.Exit(1)
+}

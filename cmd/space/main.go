@@ -1,0 +1,118 @@
+// Command space enumerates the compilation space of a program
+// (Figure 1 of the paper): every subset of its methods is forced to
+// run compiled or interpreted, and all 2^n outputs are cross-checked.
+//
+// With no argument it uses the paper's 4-call example program.
+//
+// Usage:
+//
+//	space                               # Figure 1's program, 16 choices
+//	space -profile artlike prog.mj      # enumerate a user program
+//	space -buggy prog.mj                # hunt in the seeded-defect VM
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"artemis/internal/harness"
+	"artemis/internal/lang/ast"
+	"artemis/internal/lang/parser"
+	"artemis/internal/profiles"
+	"artemis/internal/vm"
+)
+
+// figure1 is the example program of Figure 1: four method calls,
+// sixteen compilation choices, and every one must print 3.
+const figure1 = `class T {
+    int baz() { return 1; }
+    int bar() { return 2; }
+    int foo() { return bar() + baz(); }
+    void main() { print(foo()); }
+}
+`
+
+func main() {
+	profileName := flag.String("profile", "hotspotlike", "VM profile")
+	buggy := flag.Bool("buggy", false, "use the seeded-defect VM")
+	methodsFlag := flag.String("methods", "", "comma-separated methods to toggle (default: all)")
+	flag.Parse()
+
+	src := figure1
+	if flag.NArg() == 1 {
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	}
+	prog, err := parser.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	prof, err := profiles.Get(*profileName)
+	if err != nil {
+		fatal(err)
+	}
+
+	var methods []string
+	if *methodsFlag != "" {
+		methods = strings.Split(*methodsFlag, ",")
+	} else {
+		for _, m := range prog.Class.Methods {
+			methods = append(methods, m.Name)
+		}
+		sort.Strings(methods)
+		if len(methods) > 6 {
+			fmt.Fprintf(os.Stderr, "space: limiting to the first 6 of %d methods (64 choices); use -methods to pick\n", len(methods))
+			methods = methods[:6]
+		}
+	}
+
+	choices := harness.EnumerateSpace(prof, prog, methods, *buggy)
+	fmt.Printf("compilation space of %s modulo %s: %d choices over methods %s\n\n",
+		progName(prog), prof.Name, len(choices), strings.Join(methods, ", "))
+
+	byKey := map[string]int{}
+	for i, c := range choices {
+		line := firstLine(c.Output)
+		fmt.Printf("#%-3d %-40s -> %-22s trace %s\n", i+1, c.Label(methods), line, c.Trace.Key())
+		byKey[c.Output.Key()]++
+	}
+	fmt.Println()
+	if len(byKey) == 1 {
+		fmt.Println("all choices agree: no JIT-compiler bug observable in this space")
+	} else {
+		fmt.Printf("DISCREPANCY: %d distinct behaviours in one compilation space — JIT-compiler bug!\n", len(byKey))
+		os.Exit(3)
+	}
+}
+
+func progName(p *ast.Program) string { return p.Class.Name }
+
+func firstLine(o *vm.Output) string {
+	switch o.Term {
+	case vm.TermCrash:
+		return "CRASH"
+	case vm.TermException:
+		return "exception: " + o.Detail
+	case vm.TermTimeout:
+		return "timeout"
+	}
+	if len(o.Lines) == 0 {
+		return "(no output)"
+	}
+	s := strings.Join(o.Lines, ",")
+	if len(s) > 20 {
+		s = s[:20] + "…"
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "space:", err)
+	os.Exit(1)
+}

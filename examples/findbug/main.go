@@ -1,0 +1,99 @@
+// findbug reproduces the paper's core workflow end to end (Sections
+// 2.2 and 4.1): fuzz seed programs, mutate them with JoNM, run seed
+// and mutants on a buggy production-like VM, catch a discrepancy, and
+// reduce the bug-triggering mutant to a small reproducer — the same
+// pipeline that produced the paper's JDK-8288975 report.
+//
+// Run with: go run ./examples/findbug
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"artemis/internal/fuzz"
+	"artemis/internal/harness"
+	"artemis/internal/lang/ast"
+	"artemis/internal/lang/parser"
+	"artemis/internal/profiles"
+	"artemis/internal/reduce"
+	"artemis/internal/vm"
+)
+
+func main() {
+	prof, err := profiles.Get("hotspotlike")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("hunting JIT bugs in the %s VM (%s)\n\n", prof.Name, prof.Description)
+
+	// Phase 1: Algorithm 1 over fuzzed seeds until a finding appears.
+	var buggySrc string
+	var finding harness.Finding
+	for seed := int64(0); seed < 200; seed++ {
+		seedProg := fuzz.Generate(fuzz.Options{Seed: seed})
+		opts := harness.Options{
+			Profile: prof,
+			MaxIter: 8,
+			Buggy:   true,
+			Rand:    rand.New(rand.NewSource(seed * 31)),
+		}
+		res := harness.Validate(seedProg, seed, opts)
+		if len(res.Findings) == 0 {
+			continue
+		}
+		finding = res.Findings[0]
+		buggySrc = res.MutantSources[0]
+		fmt.Printf("seed %d, mutant %d: %s", seed, finding.MutantID, finding.Kind)
+		if finding.Component != "" {
+			fmt.Printf(" in %q", finding.Component)
+		}
+		fmt.Printf("\n  detail: %s\n\n", finding.Detail)
+		break
+	}
+	if buggySrc == "" {
+		fmt.Println("no finding in this window — try more seeds")
+		return
+	}
+
+	// Phase 2: reduce the mutant while the discrepancy persists (the
+	// Perses/C-Reduce step).
+	prog, err := parser.Parse(buggySrc)
+	if err != nil {
+		panic(err)
+	}
+	keep := predicateFor(prof, finding)
+	fmt.Printf("reducing the %d-statement reproducer...\n", ast.ProgramSize(prog))
+	small := reduce.Reduce(prog, keep, reduce.Options{MaxRounds: 8})
+	fmt.Printf("reduced to %d statements:\n\n%s\n", ast.ProgramSize(small), ast.Print(small))
+
+	// Phase 3: show the bug is JIT-specific: interpretation is clean.
+	bp := harness.Compile(small)
+	intCfg := prof.InterpreterConfig()
+	intOut := vm.Run(intCfg, bp).Output
+	jitCfg := prof.VMConfig(true)
+	jitOut := vm.Run(jitCfg, bp).Output
+	fmt.Printf("interpreted: %-9s %v\n", intOut.Term, intOut.Lines)
+	fmt.Printf("JIT-enabled: %-9s %v %s\n", jitOut.Term, jitOut.Lines, jitOut.Detail)
+	fmt.Println("\nthe bug disappears with the JIT off — a JIT-compiler bug, as promised.")
+}
+
+// predicateFor keeps programs that still show the finding's symptom.
+func predicateFor(prof *profiles.Profile, f harness.Finding) reduce.Predicate {
+	return func(p *ast.Program) bool {
+		bp := harness.Compile(p)
+		jitCfg := prof.VMConfig(true)
+		jitCfg.StepLimit = 120_000_000
+		jitOut := vm.Run(jitCfg, bp).Output
+		if f.Kind == harness.CrashFinding {
+			return jitOut.Term == vm.TermCrash
+		}
+		intCfg := prof.InterpreterConfig()
+		intCfg.StepLimit = 120_000_000
+		intOut := vm.Run(intCfg, bp).Output
+		if jitOut.Term == vm.TermTimeout || intOut.Term == vm.TermTimeout {
+			return false
+		}
+		return !jitOut.Equivalent(intOut)
+	}
+}

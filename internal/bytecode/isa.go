@@ -1,0 +1,283 @@
+// Package bytecode defines the stack-based bytecode of our language
+// VM and the compiler from type-checked MJ ASTs to bytecode.
+//
+// The ISA is deliberately JVM-shaped: an operand stack, local slots,
+// field access, checked array operations, fused compare-and-branch
+// instructions, and a dedicated loop back-edge instruction
+// (OpLoopBack) that the VM uses to drive back-edge profiling counters
+// and OSR compilation, mirroring how real JVMs attribute hotness to
+// loop back-jumps (Section 3.1 of the paper).
+//
+// Value model: every stack slot and local is an int64 word. int values
+// are stored sign-extended (so int->long widening is a no-op), boolean
+// is 0/1, and array references are opaque positive heap handles.
+package bytecode
+
+import (
+	"fmt"
+	"strings"
+
+	"artemis/internal/lang/ast"
+)
+
+// Op enumerates bytecode opcodes.
+type Op uint8
+
+const (
+	OpNop Op = iota
+
+	OpConst // push A
+	OpLoad  // push locals[A]
+	OpStore // locals[A] = pop
+	OpPop   // drop top
+	OpDup   // duplicate top
+	OpDup2  // duplicate top two words (a b -> a b a b)
+
+	OpGetField // push fields[A]
+	OpPutField // fields[A] = pop
+
+	OpNewArr // pop len, push new array handle (elem kind in Kind)
+	OpALoad  // pop idx, ref; push ref[idx] (bounds-checked)
+	OpAStore // pop val, idx, ref; ref[idx] = val (bounds-checked)
+	OpArrLen // pop ref, push length
+
+	// Binary arithmetic: pop b, a; push a OP b. Wide selects 64-bit
+	// (long) vs 32-bit wrapping (int) semantics.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv // raises ArithmeticException on division by zero
+	OpRem // raises ArithmeticException on division by zero
+	OpAnd
+	OpOr
+	OpXor
+	OpShl // shift count masked &31 / &63 as in Java
+	OpShr
+	OpUshr
+
+	OpNeg    // pop a, push -a (wrapping)
+	OpBitNot // pop a, push ^a
+	OpL2I    // pop a, push sign-extended int32(a) (narrowing cast)
+
+	OpCmpSet // pop b, a; push 1 if a Cond b else 0
+
+	OpGoto     // jump to A
+	OpIfTrue   // pop v; jump to A if v != 0
+	OpIfFalse  // pop v; jump to A if v == 0
+	OpIfCmp    // pop b, a; jump to A if a Cond b
+	OpSwitch   // pop v; jump via Switches[A]
+	OpLoopBack // back-edge: jump to A; B is the loop id (profiled)
+
+	OpCall // call Methods[A]; pops arity args, pushes result if non-void
+	OpRet  // return void
+	OpRetV // pop v, return v
+
+	OpPrint // pop v, append to output (formatted per Kind)
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpConst: "const", OpLoad: "load", OpStore: "store",
+	OpPop: "pop", OpDup: "dup", OpDup2: "dup2",
+	OpGetField: "getfield", OpPutField: "putfield",
+	OpNewArr: "newarr", OpALoad: "aload", OpAStore: "astore", OpArrLen: "arrlen",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpRem: "rem",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl", OpShr: "shr", OpUshr: "ushr",
+	OpNeg: "neg", OpBitNot: "bitnot", OpL2I: "l2i",
+	OpCmpSet: "cmpset",
+	OpGoto:   "goto", OpIfTrue: "iftrue", OpIfFalse: "iffalse", OpIfCmp: "ifcmp",
+	OpSwitch: "switch", OpLoopBack: "loopback",
+	OpCall: "call", OpRet: "ret", OpRetV: "retv", OpPrint: "print",
+}
+
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
+
+// Cond enumerates comparison condition codes for OpCmpSet/OpIfCmp.
+type Cond uint8
+
+const (
+	CondEQ Cond = iota
+	CondNE
+	CondLT
+	CondLE
+	CondGT
+	CondGE
+)
+
+var condNames = [...]string{"eq", "ne", "lt", "le", "gt", "ge"}
+
+func (c Cond) String() string { return condNames[c] }
+
+// Negate returns the opposite condition.
+func (c Cond) Negate() Cond {
+	switch c {
+	case CondEQ:
+		return CondNE
+	case CondNE:
+		return CondEQ
+	case CondLT:
+		return CondGE
+	case CondLE:
+		return CondGT
+	case CondGT:
+		return CondLE
+	case CondGE:
+		return CondLT
+	}
+	panic("bytecode: bad cond")
+}
+
+// Eval applies the condition to two values.
+func (c Cond) Eval(a, b int64) bool {
+	switch c {
+	case CondEQ:
+		return a == b
+	case CondNE:
+		return a != b
+	case CondLT:
+		return a < b
+	case CondLE:
+		return a <= b
+	case CondGT:
+		return a > b
+	case CondGE:
+		return a >= b
+	}
+	panic("bytecode: bad cond")
+}
+
+// Instr is one bytecode instruction.
+type Instr struct {
+	Op   Op
+	A    int64    // immediate / slot / field / pc target / method or table index
+	Wide bool     // 64-bit variant for arithmetic
+	Cond Cond     // for OpCmpSet / OpIfCmp
+	Kind ast.Kind // element kind for OpNewArr, value kind for OpPrint
+	Line int      // 1-based source line (0 if synthesized)
+}
+
+func (in Instr) String() string {
+	var b strings.Builder
+	b.WriteString(in.Op.String())
+	if in.Wide {
+		b.WriteString(".l")
+	}
+	switch in.Op {
+	case OpCmpSet, OpIfCmp:
+		fmt.Fprintf(&b, ".%s", in.Cond)
+	}
+	switch in.Op {
+	case OpConst, OpLoad, OpStore, OpGetField, OpPutField,
+		OpGoto, OpIfTrue, OpIfFalse, OpIfCmp, OpSwitch, OpCall:
+		fmt.Fprintf(&b, " %d", in.A)
+	case OpLoopBack:
+		fmt.Fprintf(&b, " %d", in.A)
+	case OpNewArr, OpPrint:
+		fmt.Fprintf(&b, " %s", in.Kind)
+	}
+	return b.String()
+}
+
+// SwitchEntry is one (value, target) pair of a switch table.
+type SwitchEntry struct {
+	Value  int64
+	Target int
+}
+
+// SwitchTable is the jump table of one OpSwitch instruction.
+type SwitchTable struct {
+	Entries []SwitchEntry
+	Default int
+}
+
+// Lookup returns the target pc for v.
+func (t *SwitchTable) Lookup(v int64) int {
+	for _, e := range t.Entries {
+		if e.Value == v {
+			return e.Target
+		}
+	}
+	return t.Default
+}
+
+// LoopInfo describes one source loop in a method.
+type LoopInfo struct {
+	ID     int
+	HeadPC int // pc of the loop header (OpLoopBack target)
+	Depth  int // nesting depth, 1 = outermost
+}
+
+// Method is one compiled method.
+type Method struct {
+	Name     string
+	Index    int
+	NParams  int
+	Ret      ast.Type
+	Locals   []ast.Type // slot types; params in slots 0..NParams-1
+	Code     []Instr
+	Switches []SwitchTable
+	Loops    []LoopInfo
+	MaxStack int
+}
+
+// IsRefSlot reports whether local slot i holds an array reference
+// (consumed by the GC when scanning interpreter frames).
+func (m *Method) IsRefSlot(i int) bool { return m.Locals[i].IsArray() }
+
+// Field describes one class field.
+type Field struct {
+	Name string
+	Type ast.Type
+}
+
+// Program is a fully compiled MJ program.
+type Program struct {
+	ClassName string
+	Fields    []Field
+	Methods   []*Method
+	MainIndex int
+	// ClinitIndex is the synthetic field-initializer method run before
+	// main, or -1 when all fields use default values.
+	ClinitIndex int
+}
+
+// Method returns the method with the given name, or nil.
+func (p *Program) Method(name string) *Method {
+	for _, m := range p.Methods {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// Disasm returns a textual disassembly of the whole program.
+func Disasm(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "class %s\n", p.ClassName)
+	for i, f := range p.Fields {
+		fmt.Fprintf(&b, "  field %d: %s %s\n", i, f.Type, f.Name)
+	}
+	for _, m := range p.Methods {
+		fmt.Fprintf(&b, "\nmethod %d: %s %s (%d params, %d locals, maxstack %d)\n",
+			m.Index, m.Ret, m.Name, m.NParams, len(m.Locals), m.MaxStack)
+		for pc, in := range m.Code {
+			fmt.Fprintf(&b, "  %4d: %s\n", pc, in)
+		}
+		for i, t := range m.Switches {
+			fmt.Fprintf(&b, "  table %d: default=%d", i, t.Default)
+			for _, e := range t.Entries {
+				fmt.Fprintf(&b, " %d->%d", e.Value, e.Target)
+			}
+			b.WriteByte('\n')
+		}
+		for _, l := range m.Loops {
+			fmt.Fprintf(&b, "  loop %d: head=%d depth=%d\n", l.ID, l.HeadPC, l.Depth)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,223 @@
+package bytecode
+
+import (
+	"fmt"
+
+	"artemis/internal/lang/ast"
+)
+
+// verifyMethod checks structural well-formedness of a compiled method
+// (branch targets in range, consistent operand stack depths along all
+// paths) and computes MaxStack. It is run on everything the compiler
+// produces, so the interpreter and JIT can assume valid code.
+func verifyMethod(p *Program, m *Method) error {
+	n := len(m.Code)
+	if n == 0 {
+		return fmt.Errorf("empty code")
+	}
+	depth := make([]int, n) // -1 = unvisited
+	for i := range depth {
+		depth[i] = -1
+	}
+
+	// stackEffect returns (pops, pushes) for the instruction.
+	stackEffect := func(in Instr) (int, int, error) {
+		switch in.Op {
+		case OpNop:
+			return 0, 0, nil
+		case OpConst, OpLoad, OpGetField:
+			return 0, 1, nil
+		case OpStore, OpPutField, OpPop, OpIfTrue, OpIfFalse, OpSwitch, OpPrint, OpRetV:
+			return 1, 0, nil
+		case OpDup:
+			return 1, 2, nil
+		case OpDup2:
+			return 2, 4, nil
+		case OpNewArr, OpArrLen, OpNeg, OpBitNot, OpL2I:
+			return 1, 1, nil
+		case OpALoad, OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor,
+			OpShl, OpShr, OpUshr, OpCmpSet:
+			return 2, 1, nil
+		case OpAStore:
+			return 3, 0, nil
+		case OpIfCmp:
+			return 2, 0, nil
+		case OpGoto, OpLoopBack, OpRet:
+			return 0, 0, nil
+		case OpCall:
+			mi := int(in.A)
+			if mi < 0 || mi >= len(p.Methods) {
+				return 0, 0, fmt.Errorf("call target %d out of range", mi)
+			}
+			callee := p.Methods[mi]
+			push := 0
+			if callee.Ret.Kind != ast.KindVoid {
+				push = 1
+			}
+			return callee.NParams, push, nil
+		}
+		return 0, 0, fmt.Errorf("unknown opcode %v", in.Op)
+	}
+
+	type workItem struct{ pc, d int }
+	work := []workItem{{0, 0}}
+	maxDepth := 0
+	push := func(pc, d int) error {
+		if pc < 0 || pc >= n {
+			return fmt.Errorf("branch target %d out of range", pc)
+		}
+		if depth[pc] == -1 {
+			depth[pc] = d
+			work = append(work, workItem{pc, d})
+		} else if depth[pc] != d {
+			return fmt.Errorf("inconsistent stack depth at pc %d: %d vs %d", pc, depth[pc], d)
+		}
+		return nil
+	}
+	depth[0] = 0
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		in := m.Code[it.pc]
+		pops, pushes, err := stackEffect(in)
+		if err != nil {
+			return fmt.Errorf("pc %d: %w", it.pc, err)
+		}
+		if it.d < pops {
+			return fmt.Errorf("pc %d: stack underflow (%d < %d)", it.pc, it.d, pops)
+		}
+		d := it.d - pops + pushes
+		if d > maxDepth {
+			maxDepth = d
+		}
+		switch in.Op {
+		case OpGoto, OpLoopBack:
+			if err := push(int(in.A), d); err != nil {
+				return err
+			}
+		case OpIfTrue, OpIfFalse, OpIfCmp:
+			if err := push(int(in.A), d); err != nil {
+				return err
+			}
+			if err := push(it.pc+1, d); err != nil {
+				return err
+			}
+		case OpSwitch:
+			ti := int(in.A)
+			if ti < 0 || ti >= len(m.Switches) {
+				return fmt.Errorf("pc %d: switch table %d out of range", it.pc, ti)
+			}
+			t := m.Switches[ti]
+			if err := push(t.Default, d); err != nil {
+				return err
+			}
+			for _, e := range t.Entries {
+				if err := push(e.Target, d); err != nil {
+					return err
+				}
+			}
+		case OpRet:
+			if d != 0 {
+				return fmt.Errorf("pc %d: return with non-empty stack (%d)", it.pc, d)
+			}
+		case OpRetV:
+			if d != 0 {
+				return fmt.Errorf("pc %d: retv leaves %d extra words", it.pc, d)
+			}
+		default:
+			if err := push(it.pc+1, d); err != nil {
+				return err
+			}
+		}
+		// Back-edges must occur at empty-stack points (statement
+		// boundaries); the OSR machinery depends on this.
+		if in.Op == OpLoopBack && d != 0 {
+			return fmt.Errorf("pc %d: back-edge with non-empty stack", it.pc)
+		}
+	}
+
+	// Validate slot and field indices.
+	for pc, in := range m.Code {
+		switch in.Op {
+		case OpLoad, OpStore:
+			if in.A < 0 || int(in.A) >= len(m.Locals) {
+				return fmt.Errorf("pc %d: local slot %d out of range", pc, in.A)
+			}
+		case OpGetField, OpPutField:
+			if in.A < 0 || int(in.A) >= len(p.Fields) {
+				return fmt.Errorf("pc %d: field %d out of range", pc, in.A)
+			}
+		}
+	}
+	m.MaxStack = maxDepth
+	return nil
+}
+
+// StackDepths recomputes the operand stack depth at every pc of a
+// verified method (-1 for unreachable code). The JIT front end uses
+// this when building SSA and deopt frame states.
+func StackDepths(p *Program, m *Method) []int {
+	n := len(m.Code)
+	depth := make([]int, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	type workItem struct{ pc, d int }
+	work := []workItem{{0, 0}}
+	depth[0] = 0
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		in := m.Code[it.pc]
+		d := it.d + stackDelta(p, in)
+		enqueue := func(pc int) {
+			if depth[pc] == -1 {
+				depth[pc] = d
+				work = append(work, workItem{pc, d})
+			}
+		}
+		switch in.Op {
+		case OpGoto, OpLoopBack:
+			enqueue(int(in.A))
+		case OpIfTrue, OpIfFalse, OpIfCmp:
+			enqueue(int(in.A))
+			enqueue(it.pc + 1)
+		case OpSwitch:
+			t := m.Switches[in.A]
+			enqueue(t.Default)
+			for _, e := range t.Entries {
+				enqueue(e.Target)
+			}
+		case OpRet, OpRetV:
+		default:
+			enqueue(it.pc + 1)
+		}
+	}
+	return depth
+}
+
+// stackDelta returns pushes-pops for in (method must be valid).
+func stackDelta(p *Program, in Instr) int {
+	switch in.Op {
+	case OpConst, OpLoad, OpGetField, OpDup:
+		return 1
+	case OpDup2:
+		return 2
+	case OpStore, OpPutField, OpPop, OpIfTrue, OpIfFalse, OpSwitch, OpPrint, OpRetV,
+		OpALoad, OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor,
+		OpShl, OpShr, OpUshr, OpCmpSet:
+		return -1
+	case OpAStore:
+		return -3
+	case OpIfCmp:
+		return -2
+	case OpCall:
+		callee := p.Methods[in.A]
+		d := -callee.NParams
+		if callee.Ret.Kind != ast.KindVoid {
+			d++
+		}
+		return d
+	}
+	return 0
+}

@@ -1,0 +1,313 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"artemis/internal/fuzz"
+	"artemis/internal/lang/ast"
+	"artemis/internal/profiles"
+	"artemis/internal/vm"
+)
+
+// CampaignOptions configures a fuzzing campaign (the Section 4
+// evaluation loop): generate seeds, validate each via Algorithm 1,
+// and optionally also apply the traditional baseline for the
+// comparative study (Table 4).
+type CampaignOptions struct {
+	Options
+	// Seeds is the number of seed programs to generate.
+	Seeds int
+	// SeedBase offsets the fuzzer seeds (campaigns are deterministic
+	// given SeedBase).
+	SeedBase int64
+	// Comparative also runs the traditional (-Xjit:count=0 analogue)
+	// oracle per seed.
+	Comparative bool
+}
+
+// DedupFinding is a distinct finding with its duplicate count.
+type DedupFinding struct {
+	Finding
+	Count int
+}
+
+// CampaignStats aggregates one campaign.
+type CampaignStats struct {
+	Profile string
+	Seeds   int
+	Mutants int
+	Runs    int
+	Elapsed time.Duration
+
+	// Distinct findings in discovery order and duplicate counts.
+	Distinct []DedupFinding
+	// Reported = len(Distinct) + Duplicates (every manifestation).
+	Duplicates int
+	// DiscardedSeeds counts seeds dropped for timing out (Section
+	// 4.3 discards programs over the budget).
+	DiscardedSeeds int
+
+	// CSESeeds / TradSeeds / BothSeeds: seeds flagged by compilation
+	// space exploration, by the traditional baseline, and by both
+	// (Table 4's columns).
+	CSESeeds  int
+	TradSeeds int
+	BothSeeds int
+
+	// Example mutant sources (up to 5) for reports / reduction demos.
+	Examples []string
+}
+
+// ByKind returns distinct-finding counts per kind.
+func (cs *CampaignStats) ByKind() map[FindingKind]int {
+	m := map[FindingKind]int{}
+	for _, f := range cs.Distinct {
+		m[f.Kind]++
+	}
+	return m
+}
+
+// ByComponent returns crash counts per JIT component over distinct
+// findings (Table 2's view).
+func (cs *CampaignStats) ByComponent() map[string]int {
+	m := map[string]int{}
+	for _, f := range cs.Distinct {
+		if f.Kind == CrashFinding {
+			m[f.Component]++
+		}
+	}
+	return m
+}
+
+// ManifestationsByComponent returns total crash manifestations
+// (including duplicates) per component — how often each component is
+// hit, complementing the distinct view.
+func (cs *CampaignStats) ManifestationsByComponent() map[string]int {
+	m := map[string]int{}
+	for _, f := range cs.Distinct {
+		if f.Kind == CrashFinding {
+			m[f.Component] += f.Count
+		}
+	}
+	return m
+}
+
+// Confirmed counts distinct findings that reproduced.
+func (cs *CampaignStats) Confirmed() int {
+	n := 0
+	for _, f := range cs.Distinct {
+		if f.Confirmed {
+			n++
+		}
+	}
+	return n
+}
+
+// Fixed counts distinct findings attributed to (and removable by) a
+// single catalog defect.
+func (cs *CampaignStats) Fixed() int {
+	n := 0
+	for _, f := range cs.Distinct {
+		if f.FixedBy != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Throughput returns VM invocations per second.
+func (cs *CampaignStats) Throughput() float64 {
+	if cs.Elapsed <= 0 {
+		return 0
+	}
+	return float64(cs.Runs) / cs.Elapsed.Seconds()
+}
+
+// RunCampaign drives a full campaign.
+func RunCampaign(opts CampaignOptions) *CampaignStats {
+	opts.Options = opts.Options.withDefaults()
+	start := time.Now()
+	stats := &CampaignStats{Profile: opts.Profile.Name, Seeds: opts.Seeds}
+	seen := map[string]int{} // signature -> index into Distinct
+
+	for i := 0; i < opts.Seeds; i++ {
+		seedID := opts.SeedBase + int64(i)
+		seedProg := fuzz.Generate(fuzz.Options{Seed: seedID})
+
+		o := opts.Options
+		o.Rand = rand.New(rand.NewSource(seedID * 7919))
+		res := Validate(seedProg, seedID, o)
+		stats.Runs += res.Runs
+		stats.Mutants += res.Mutants
+		if res.SeedDiscarded {
+			stats.DiscardedSeeds++
+			continue
+		}
+		if len(res.Findings) > 0 {
+			stats.CSESeeds++
+		}
+		for fi, f := range res.Findings {
+			if idx, dup := seen[f.Signature]; dup {
+				stats.Duplicates++
+				stats.Distinct[idx].Count++
+				continue
+			}
+			seen[f.Signature] = len(stats.Distinct)
+			stats.Distinct = append(stats.Distinct, DedupFinding{Finding: f, Count: 1})
+			if len(stats.Examples) < 5 && fi < len(res.MutantSources) {
+				stats.Examples = append(stats.Examples, res.MutantSources[fi])
+			}
+		}
+
+		if opts.Comparative {
+			bp := Compile(seedProg)
+			hit, runs := TraditionalDiscrepancy(bp, o)
+			stats.Runs += runs
+			if hit {
+				stats.TradSeeds++
+				if len(res.Findings) > 0 {
+					stats.BothSeeds++
+				}
+			}
+		}
+	}
+	stats.Elapsed = time.Since(start)
+	return stats
+}
+
+// ---------------------------------------------------------------------------
+// Compilation-space enumeration (Figure 1)
+// ---------------------------------------------------------------------------
+
+// SpaceChoice labels one point of a compilation space: which of the
+// program's methods execute compiled.
+type SpaceChoice struct {
+	Compiled map[string]bool
+	Output   *vm.Output
+	Trace    *vm.JITTrace
+}
+
+// Label renders the choice like "main:int foo:jit ...".
+func (c *SpaceChoice) Label(methods []string) string {
+	parts := make([]string, len(methods))
+	for i, m := range methods {
+		mode := "int"
+		if c.Compiled[m] {
+			mode = "jit"
+		}
+		parts[i] = m + ":" + mode
+	}
+	return strings.Join(parts, " ")
+}
+
+// EnumerateSpace explores the 2^n compilation choices obtained by
+// independently interpreting or compiling each listed method — the
+// idealized compilation space of Figure 1, realizable here because we
+// own the VM (Section 3.2's "straightforward and ideal realization").
+// All outputs must agree on a correct VM; set buggy to hunt in the
+// seeded-defect VM instead.
+func EnumerateSpace(prof *profiles.Profile, prog *ast.Program, methods []string, buggy bool) []SpaceChoice {
+	bp := Compile(prog)
+	n := len(methods)
+	choices := make([]SpaceChoice, 0, 1<<n)
+	for mask := 0; mask < 1<<n; mask++ {
+		compiled := map[string]bool{}
+		forced := map[string]vm.ForceChoice{}
+		for i, m := range methods {
+			if mask&(1<<i) != 0 {
+				compiled[m] = true
+				forced[m] = vm.ForceCompile
+			} else {
+				forced[m] = vm.ForceInterpret
+			}
+		}
+		cfg := prof.VMConfig(buggy)
+		cfg.Policy = &vm.ForcedPolicy{Tier: prof.MaxTier, Methods: forced, DisableOSR: true}
+		cfg.RecordTrace = true
+		res := vm.Run(cfg, bp)
+		choices = append(choices, SpaceChoice{Compiled: compiled, Output: res.Output, Trace: res.Trace})
+	}
+	return choices
+}
+
+// ---------------------------------------------------------------------------
+// Table rendering
+// ---------------------------------------------------------------------------
+
+// FormatTable1 renders the Table 1 analogue from per-profile stats.
+func FormatTable1(stats []*CampaignStats) string {
+	var b strings.Builder
+	b.WriteString("Table 1: statistics of detected JIT-compiler bugs\n")
+	fmt.Fprintf(&b, "%-28s", "")
+	for _, s := range stats {
+		fmt.Fprintf(&b, "%14s", s.Profile)
+	}
+	fmt.Fprintf(&b, "%10s\n", "Total")
+	row := func(label string, get func(*CampaignStats) int) {
+		fmt.Fprintf(&b, "%-28s", label)
+		total := 0
+		for _, s := range stats {
+			v := get(s)
+			total += v
+			fmt.Fprintf(&b, "%14d", v)
+		}
+		fmt.Fprintf(&b, "%10d\n", total)
+	}
+	row("Reported (distinct)", func(s *CampaignStats) int { return len(s.Distinct) })
+	row("Duplicate manifestations", func(s *CampaignStats) int { return s.Duplicates })
+	row("Confirmed (reproduced)", func(s *CampaignStats) int { return s.Confirmed() })
+	row("Fixed (defect isolated)", func(s *CampaignStats) int { return s.Fixed() })
+	row("Mis-compilations", func(s *CampaignStats) int { return s.ByKind()[Miscompilation] })
+	row("Crashes", func(s *CampaignStats) int { return s.ByKind()[CrashFinding] })
+	row("Performance", func(s *CampaignStats) int { return s.ByKind()[Performance] })
+	return b.String()
+}
+
+// FormatTable2 renders the Table 2 analogue: crash counts per JIT
+// component for the given profiles.
+func FormatTable2(stats []*CampaignStats) string {
+	var b strings.Builder
+	b.WriteString("Table 2: JIT components affected by reported crashes\n")
+	for _, s := range stats {
+		fmt.Fprintf(&b, "\n%s:\n", s.Profile)
+		comps := s.ByComponent()
+		keys := make([]string, 0, len(comps))
+		for k := range comps {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if comps[keys[i]] != comps[keys[j]] {
+				return comps[keys[i]] > comps[keys[j]]
+			}
+			return keys[i] < keys[j]
+		})
+		manif := s.ManifestationsByComponent()
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %-36s %d distinct (%d manifestations)\n", k, comps[k], manif[k])
+		}
+		if len(keys) == 0 {
+			b.WriteString("  (no crashes)\n")
+		}
+	}
+	return b.String()
+}
+
+// FormatTable4 renders the comparative study (Table 4).
+func FormatTable4(s *CampaignStats) string {
+	var b strings.Builder
+	b.WriteString("Table 4: comparative study, CSE vs. traditional approach\n")
+	fmt.Fprintf(&b, "  %-10s %-10s %-8s %-8s %-8s\n", "#Seeds", "#Mutants", "CSE", "Tra.", "Both")
+	fmt.Fprintf(&b, "  %-10d %-10d %-8d %-8d %-8d\n", s.Seeds, s.Mutants, s.CSESeeds, s.TradSeeds, s.BothSeeds)
+	fmt.Fprintf(&b, "  throughput: %.2f VM invocations/s (%d runs in %s)\n",
+		s.Throughput(), s.Runs, s.Elapsed.Round(time.Millisecond))
+	if s.CSESeeds > 0 {
+		onlyCSE := s.CSESeeds - s.BothSeeds
+		fmt.Fprintf(&b, "  %.1f%% of CSE-flagged seeds cannot be caught by the traditional oracle\n",
+			100*float64(onlyCSE)/float64(s.CSESeeds))
+	}
+	return b.String()
+}

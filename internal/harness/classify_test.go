@@ -1,0 +1,55 @@
+package harness
+
+import "testing"
+
+func TestComponentOf(t *testing.T) {
+	cases := []struct{ detail, want string }{
+		{"JIT compiler crash (tier 2, method m5): assertion failure in Escape Analysis, C2: allocation v1 merges into phi v2",
+			"Escape Analysis, C2"},
+		{"assertion failure in Loop Vectorization: legality check: 9 candidate stores",
+			"Loop Vectorization"},
+		{"fatal error: GC: heap corruption detected on object 12: canary 0x1 != 0x5ca1ab1d",
+			"Garbage Collection"},
+		{"fatal error: SIGSEGV: uncommon trap stub, method f, deopt pc 3",
+			"Code Execution"},
+		{"something entirely else", "Other JIT Components"},
+	}
+	for _, tc := range cases {
+		if got := componentOf(tc.detail); got != tc.want {
+			t.Errorf("componentOf(%q) = %q, want %q", tc.detail, got, tc.want)
+		}
+	}
+}
+
+func TestSignatureNormalization(t *testing.T) {
+	a := signatureOf(CrashFinding, "p", "Garbage Collection",
+		"GC: heap corruption detected on object 12: canary 0xbadbeef != 0x5ca1ab1d")
+	b := signatureOf(CrashFinding, "p", "Garbage Collection",
+		"GC: heap corruption detected on object 99: canary 0xbadbeef != 0x5ca1ffff")
+	if a != b {
+		t.Errorf("object ids / canary values must normalize away:\n%s\n%s", a, b)
+	}
+	c := signatureOf(CrashFinding, "p", "Garbage Collection",
+		"GC: heap corruption detected on object 7: canary 0x1 != 0x5ca1ab1d")
+	if a == c {
+		t.Error("barrier-marker corruption must stay distinct from other corrupting writes")
+	}
+	d := signatureOf(CrashFinding, "other", "Garbage Collection",
+		"GC: heap corruption detected on object 12: canary 0xbadbeef != 0x5ca1ab1d")
+	if a == d {
+		t.Error("profiles must separate signatures")
+	}
+	m1 := signatureOf(Miscompilation, "p", "", "normal-vs-normal")
+	m2 := signatureOf(Miscompilation, "p", "", "normal-vs-exception")
+	if m1 == m2 {
+		t.Error("mis-compilation symptoms must separate")
+	}
+}
+
+func TestFindingKindStrings(t *testing.T) {
+	if Miscompilation.String() != "mis-compilation" ||
+		CrashFinding.String() != "crash" ||
+		Performance.String() != "performance" {
+		t.Error("FindingKind strings wrong")
+	}
+}

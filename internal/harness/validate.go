@@ -1,0 +1,329 @@
+// Package harness implements the paper's validation loop (Algorithm
+// 1), the discrepancy classification of Section 4.2, the comparative
+// "traditional approach" baseline of Section 4.3, and the campaign
+// machinery that regenerates Tables 1, 2 and 4.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+	"strings"
+
+	"artemis/internal/bugs"
+	"artemis/internal/bytecode"
+	"artemis/internal/jonm"
+	"artemis/internal/lang/ast"
+	"artemis/internal/lang/sem"
+	"artemis/internal/profiles"
+	"artemis/internal/vm"
+)
+
+// Compile lowers an AST program to bytecode (panicking on internal
+// errors: harness inputs are always generator/mutator outputs, which
+// are valid by construction).
+func Compile(p *ast.Program) *bytecode.Program {
+	return bytecode.MustCompile(sem.MustAnalyze(p))
+}
+
+// FindingKind classifies a discrepancy per Section 4.2.
+type FindingKind int
+
+const (
+	Miscompilation FindingKind = iota
+	CrashFinding
+	Performance
+)
+
+func (k FindingKind) String() string {
+	switch k {
+	case Miscompilation:
+		return "mis-compilation"
+	case CrashFinding:
+		return "crash"
+	case Performance:
+		return "performance"
+	}
+	return "unknown"
+}
+
+// Finding is one detected JIT-compiler bug manifestation.
+type Finding struct {
+	Kind      FindingKind
+	Profile   string
+	Component string // crash component ("" for mis-compilations)
+	Signature string // dedup key
+	Detail    string
+	SeedID    int64
+	MutantID  int
+
+	// Confirmed: the discrepancy reproduces on an independent rerun
+	// (the analogue of developers reproducing the report).
+	Confirmed bool
+	// FixedBy names the single catalog defect whose removal makes the
+	// symptom disappear (the analogue of a bug fix landing), or "".
+	FixedBy string
+}
+
+var digitRun = regexp.MustCompile(`0x[0-9a-fA-F]+|\d+`)
+
+// signatureOf builds a dedup signature: crashes are keyed by component
+// plus a digit-normalized message, like dedup by stack trace;
+// mis-compilations and performance bugs are keyed by their coarse
+// symptom (the paper likewise cannot attribute unfixed mis-compilations
+// to components — Table 2 covers crashes only).
+func signatureOf(kind FindingKind, profile, component, detail string) string {
+	switch kind {
+	case CrashFinding:
+		norm := digitRun.ReplaceAllString(detail, "#")
+		if strings.Contains(detail, "badbeef") {
+			// Heap corruption with the store-barrier marker word is a
+			// different root cause than other corrupting writes; keep
+			// the two apart like differing crash signatures would.
+			norm += "|barrier"
+		}
+		return fmt.Sprintf("crash|%s|%s|%s", profile, component, norm)
+	case Performance:
+		return fmt.Sprintf("perf|%s", profile)
+	default:
+		return fmt.Sprintf("miscompile|%s|%s", profile, detail)
+	}
+}
+
+// componentOf extracts the JIT component from a crash detail string.
+func componentOf(detail string) string {
+	if i := strings.Index(detail, "assertion failure in "); i >= 0 {
+		rest := detail[i+len("assertion failure in "):]
+		if j := strings.Index(rest, ":"); j >= 0 {
+			return rest[:j]
+		}
+		return rest
+	}
+	if strings.Contains(detail, "GC: heap corruption") {
+		return "Garbage Collection"
+	}
+	if strings.Contains(detail, "SIGSEGV") || strings.Contains(detail, "uncommon trap stub") {
+		return "Code Execution"
+	}
+	return "Other JIT Components"
+}
+
+// Options configures Validate and campaigns.
+type Options struct {
+	Profile *profiles.Profile
+	// MaxIter is the number of mutants per seed (Algorithm 1; the
+	// paper uses 8).
+	MaxIter int
+	// StepLimit is the per-run step budget (the 2-minute analogue).
+	StepLimit int64
+	// Buggy selects the seeded-defect VM (true for campaigns; false
+	// to validate the validator).
+	Buggy bool
+	// BugSet overrides the profile bug set when non-nil (used by
+	// fix-verification and ablations).
+	BugSet bugs.Set
+	// Rand seeds mutation randomness.
+	Rand *rand.Rand
+	// Mutators / DisableSkeletons / MethodProb forward to jonm for
+	// ablation studies.
+	Mutators         []jonm.MutatorName
+	DisableSkeletons bool
+	// ConfirmAndFix enables the reproduce + fix-bisection analysis on
+	// findings (slower).
+	ConfirmAndFix bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter == 0 {
+		o.MaxIter = 8
+	}
+	if o.StepLimit == 0 {
+		// ~0.5 s of interpretation: the stand-in for the paper's
+		// 2-minute wall-clock cutoff, scaled to simulator speed.
+		o.StepLimit = 120_000_000
+	}
+	if o.Rand == nil {
+		o.Rand = rand.New(rand.NewSource(1))
+	}
+	return o
+}
+
+func (o Options) bugSet() bugs.Set {
+	if o.BugSet != nil {
+		return o.BugSet
+	}
+	if o.Buggy {
+		return o.Profile.BugSet()
+	}
+	return nil
+}
+
+func (o Options) mutationConfig() *jonm.Config {
+	return &jonm.Config{
+		Min:              o.Profile.SynMin,
+		Max:              o.Profile.SynMax,
+		StepMax:          o.Profile.SynStepMax,
+		Rand:             o.Rand,
+		Mutators:         o.Mutators,
+		DisableSkeletons: o.DisableSkeletons,
+	}
+}
+
+// runProgram executes bp on the profile VM with the given bug set.
+func runProgram(o Options, set bugs.Set, bp *bytecode.Program) *vm.Output {
+	cfg := o.Profile.VMConfigWithBugs(set)
+	cfg.StepLimit = o.StepLimit
+	return vm.Run(cfg, bp).Output
+}
+
+// Result is one seed's validation outcome.
+type Result struct {
+	SeedDiscarded bool // seed timed out; nothing comparable
+	Findings      []Finding
+	Runs          int      // VM invocations performed
+	Mutants       int      // mutants generated
+	MutantSources []string // sources of discrepancy-triggering mutants
+}
+
+// Validate implements Algorithm 1 for one seed program: run the seed
+// with its default JIT-trace, then MAX_ITER JoNM mutants with theirs,
+// and report every output discrepancy as a JIT-compiler bug.
+func Validate(seedProg *ast.Program, seedID int64, o Options) *Result {
+	o = o.withDefaults()
+	set := o.bugSet()
+	res := &Result{}
+
+	seedBP := Compile(seedProg)
+	ref := runProgram(o, set, seedBP)
+	res.Runs++
+	if ref.Term == vm.TermTimeout {
+		res.SeedDiscarded = true
+		return res
+	}
+	// A seed whose *default* run already crashes the VM is a finding
+	// on its own (it exercised the JIT by itself).
+	if ref.Term == vm.TermCrash {
+		res.Findings = append(res.Findings, newFinding(o, set, seedProg, seedID, -1, ref, ref))
+		return res
+	}
+
+	for i := 0; i < o.MaxIter; i++ {
+		mutant, _, err := jonm.Mutate(seedProg, o.mutationConfig())
+		if err != nil {
+			// Mutator defect; surface loudly in tests, skip in runs.
+			panic(err)
+		}
+		res.Mutants++
+		mbp := Compile(mutant)
+		out := runProgram(o, set, mbp)
+		res.Runs++
+		if out.Term == vm.TermTimeout {
+			// Distinguish "mutant is just hot" from a JIT-induced
+			// performance collapse: rerun without JIT.
+			intCfg := o.Profile.InterpreterConfig()
+			intCfg.StepLimit = o.StepLimit
+			intOut := vm.Run(intCfg, mbp).Output
+			res.Runs++
+			if intOut.Term != vm.TermTimeout {
+				f := Finding{
+					Kind:      Performance,
+					Profile:   o.Profile.Name,
+					Detail:    "compiled run exceeds step budget; interpreted run finishes",
+					SeedID:    seedID,
+					MutantID:  i,
+					Signature: signatureOf(Performance, o.Profile.Name, "", ""),
+				}
+				res.Findings = append(res.Findings, f)
+				res.MutantSources = append(res.MutantSources, ast.Print(mutant))
+			}
+			continue
+		}
+		if out.Equivalent(ref) {
+			continue
+		}
+		f := newFinding(o, set, mutant, seedID, i, ref, out)
+		res.Findings = append(res.Findings, f)
+		res.MutantSources = append(res.MutantSources, ast.Print(mutant))
+	}
+	return res
+}
+
+// newFinding classifies a discrepancy and optionally confirms it and
+// bisects the responsible defect.
+func newFinding(o Options, set bugs.Set, prog *ast.Program, seedID int64, mutantID int, ref, out *vm.Output) Finding {
+	f := Finding{
+		Profile:  o.Profile.Name,
+		SeedID:   seedID,
+		MutantID: mutantID,
+		Detail:   out.Detail,
+	}
+	if out.Term == vm.TermCrash {
+		f.Kind = CrashFinding
+		f.Component = componentOf(out.Detail)
+	} else {
+		f.Kind = Miscompilation
+		f.Detail = fmt.Sprintf("%s-vs-%s", ref.Term, out.Term)
+	}
+	f.Signature = signatureOf(f.Kind, o.Profile.Name, f.Component, f.Detail)
+
+	if o.ConfirmAndFix {
+		bp := Compile(prog)
+		// Confirm: rerun and compare the normalized symptom (exact
+		// keys would be needlessly brittle for crash diagnostics).
+		again := runProgram(o, set, bp)
+		if f.Kind == CrashFinding {
+			f.Confirmed = again.Term == vm.TermCrash &&
+				signatureOf(CrashFinding, o.Profile.Name, componentOf(again.Detail), again.Detail) == f.Signature
+		} else {
+			f.Confirmed = again.Key() == out.Key()
+		}
+		// Fix bisection: disable one catalog defect at a time; if the
+		// symptom disappears, that defect is "fixed" by the report.
+		for id := range set {
+			reduced := bugs.Set{}
+			for other := range set {
+				if other != id {
+					reduced[other] = true
+				}
+			}
+			fixed := runProgram(o, reduced, bp)
+			symptomGone := false
+			if f.Kind == CrashFinding {
+				symptomGone = fixed.Term != vm.TermCrash
+			} else {
+				symptomGone = fixed.Equivalent(ref)
+			}
+			if symptomGone {
+				f.FixedBy = id
+				break
+			}
+		}
+	}
+	return f
+}
+
+// TraditionalDiscrepancy implements the baseline of Section 4.3: run
+// the seed with its default JIT-trace, then again with every method
+// force-compiled before its first call (the -Xjit:count=0 analogue),
+// and compare. No mutants, no compilation-space exploration.
+func TraditionalDiscrepancy(seedBP *bytecode.Program, o Options) (bool, int) {
+	o = o.withDefaults()
+	set := o.bugSet()
+	ref := runProgram(o, set, seedBP)
+	runs := 1
+	if ref.Term == vm.TermTimeout {
+		return false, runs
+	}
+	cfg := o.Profile.VMConfigWithBugs(set)
+	cfg.StepLimit = o.StepLimit
+	cfg.Policy = &vm.ForcedPolicy{
+		Tier:   o.Profile.MaxTier,
+		Choice: func(string, int64) vm.ForceChoice { return vm.ForceCompile },
+	}
+	full := vm.Run(cfg, seedBP).Output
+	runs++
+	if full.Term == vm.TermTimeout {
+		return false, runs
+	}
+	return !full.Equivalent(ref), runs
+}

@@ -1,0 +1,130 @@
+package jit
+
+import (
+	"fmt"
+
+	"artemis/internal/bugs"
+	"artemis/internal/vm"
+)
+
+// Options configures a Compiler instance.
+type Options struct {
+	// MaxTier is the number of optimization levels (N of Definition
+	// 3.1): 1 = quick tier only, 2 = quick + optimizing tier.
+	MaxTier int
+	// Bugs is the enabled seeded-defect set (nil = a correct compiler).
+	Bugs bugs.Set
+	// MinBranchSamples is the profile confidence needed before the
+	// optimizing tier speculates on a one-sided branch.
+	MinBranchSamples int64
+}
+
+// Compiler implements vm.JITCompiler with two tiers:
+//
+//	tier 1 — "quick": direct SSA construction, no optimization, no
+//	         speculation; the analogue of HotSpot C1 / ART's
+//	         OptimizingCompiler baseline configuration.
+//	tier 2 — "opt": profile-guided speculation with uncommon traps,
+//	         local/global value propagation, constant folding, GVN,
+//	         loop optimization (LICM), bounds-check elimination, and
+//	         global code motion; the analogue of HotSpot C2 / OpenJ9's
+//	         warm-and-above optimizer.
+type Compiler struct {
+	opts Options
+
+	// Stats
+	Compilations int64
+	CrashCount   int64
+}
+
+// New creates a Compiler.
+func New(opts Options) *Compiler {
+	if opts.MaxTier <= 0 {
+		opts.MaxTier = 2
+	}
+	if opts.MinBranchSamples <= 0 {
+		opts.MinBranchSamples = 8
+	}
+	return &Compiler{opts: opts}
+}
+
+var _ vm.JITCompiler = (*Compiler)(nil)
+
+// MaxTier implements vm.JITCompiler.
+func (c *Compiler) MaxTier() int { return c.opts.MaxTier }
+
+// Compile implements vm.JITCompiler.
+func (c *Compiler) Compile(req vm.CompileRequest) (code vm.CompiledCode, cerr *vm.CompileError) {
+	c.Compilations++
+	defer func() {
+		if r := recover(); r != nil {
+			if cc, ok := r.(compilerCrash); ok {
+				c.CrashCount++
+				code = nil
+				cerr = &vm.CompileError{
+					Crash: true,
+					Msg:   fmt.Sprintf("assertion failure in %s: %s", cc.component, cc.msg),
+				}
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	bugSet := c.opts.Bugs
+	tier := req.Tier
+	if tier > c.opts.MaxTier {
+		tier = c.opts.MaxTier
+	}
+	m := req.Prog.Methods[req.MethodIndex]
+
+	if bugSet.Has("oj-recomp-limit") && req.Recompiles >= 6 {
+		crashf("Recompilation", "persistent method info: recompile #%d of %s", req.Recompiles+1, m.Name)
+	}
+	if tier == 1 && bugSet.Has("hs-c1-bigmethod") && len(m.Code) > 256 && m.NParams >= 4 {
+		crashf("Inlining, C1", "inline buffer exhausted: %d bytecodes, %d params", len(m.Code), m.NParams)
+	}
+
+	cfg := buildConfig{
+		speculate:       tier >= 2 && req.Speculate,
+		minSamples:      c.opts.MinBranchSamples,
+		bugStaleLocalFS: bugSet.Has("oj-deopt-stale"),
+		bugGraphAssert:  tier >= 2 && bugSet.Has("hs-igb-region"),
+	}
+	f := buildSSA(req.Prog, req.MethodIndex, req.OSRLoopID, req.Profile, cfg)
+
+	if tier >= 2 {
+		if DebugDisablePass != "valprop" {
+			localValueProp(f, bugSet)
+		}
+		if DebugDisablePass != "fold" && DebugDisablePass != "fold1" {
+			foldConstants(f, bugSet)
+		}
+		if DebugDisablePass != "fold" && DebugDisablePass != "foldbr" {
+			foldBranches(f)
+		}
+		if DebugDisablePass != "gvn" {
+			gvn(f, bugSet)
+		}
+		if DebugDisablePass != "licm" {
+			loopOptimize(f, bugSet)
+		}
+		if DebugDisablePass != "bce" {
+			boundsCheckElim(f, bugSet)
+		}
+		if DebugDisablePass != "gcm" {
+			globalCodeMotion(f, bugSet)
+		}
+		if DebugDisablePass != "fold" && DebugDisablePass != "fold2" {
+			foldConstants(f, bugSet)
+		}
+		shapeChecks(f, bugSet)
+	}
+
+	return lower(f, tier, bugSet), nil
+}
+
+// DebugDisablePass, when set to a pass name ("valprop", "fold", "gvn",
+// "licm", "bce", "gcm"), skips that pass in the tier-2 pipeline. Used
+// only by debugging tools and pass-bisection tests.
+var DebugDisablePass string

@@ -1,0 +1,252 @@
+package ir
+
+// ReversePostorder returns the blocks reachable from Entry in reverse
+// postorder.
+func (f *Func) ReversePostorder() []*Block {
+	seen := make([]bool, f.nextBlockID)
+	var post []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b.ID] = true
+		for _, s := range b.Succs {
+			if !seen[s.ID] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(f.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// RemoveUnreachable drops blocks not reachable from Entry and fixes
+// pred lists (and phis) accordingly.
+func (f *Func) RemoveUnreachable() {
+	rpo := f.ReversePostorder()
+	reach := make([]bool, f.nextBlockID)
+	for _, b := range rpo {
+		reach[b.ID] = true
+	}
+	for _, b := range rpo {
+		// Remove unreachable preds, adjusting phi args.
+		for i := 0; i < len(b.Preds); {
+			if !reach[b.Preds[i].ID] {
+				b.removePred(i)
+			} else {
+				i++
+			}
+		}
+	}
+	f.Blocks = rpo
+}
+
+// RemovePredEdge removes the i-th predecessor edge bookkeeping,
+// including the corresponding phi arguments (the pred's succ list is
+// the caller's responsibility).
+func (b *Block) RemovePredEdge(i int) { b.removePred(i) }
+
+// removePred removes the i-th predecessor edge bookkeeping (the pred's
+// succ list is left to the caller — used only for unreachable preds).
+func (b *Block) removePred(i int) {
+	b.Preds = append(b.Preds[:i], b.Preds[i+1:]...)
+	for _, v := range b.Values {
+		if v.Op == OpPhi {
+			v.Args = append(v.Args[:i], v.Args[i+1:]...)
+		}
+	}
+}
+
+// Dominators computes immediate dominators (Cooper-Harvey-Kennedy)
+// over reachable blocks. Returns idom indexed by block ID (entry maps
+// to itself; unreachable blocks map to nil).
+func (f *Func) Dominators() []*Block {
+	rpo := f.ReversePostorder()
+	index := make([]int, f.nextBlockID)
+	for i := range index {
+		index[i] = -1
+	}
+	for i, b := range rpo {
+		index[b.ID] = i
+	}
+	idom := make([]*Block, f.nextBlockID)
+	idom[f.Entry.ID] = f.Entry
+
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for index[a.ID] > index[b.ID] {
+				a = idom[a.ID]
+			}
+			for index[b.ID] > index[a.ID] {
+				b = idom[b.ID]
+			}
+		}
+		return a
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range rpo {
+			if b == f.Entry {
+				continue
+			}
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if idom[p.ID] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != nil && idom[b.ID] != newIdom {
+				idom[b.ID] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether a dominates b under idom.
+func Dominates(idom []*Block, a, b *Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		d := idom[b.ID]
+		if d == nil || d == b {
+			return false
+		}
+		b = d
+	}
+}
+
+// ComputeLoops finds natural loops (via dominator back edges), assigns
+// Block.LoopDepth / Block.LoopID, and estimates block frequencies
+// (10x per loop level, the classic static heuristic — these estimates
+// feed global code motion, where the paper's flagship GCM bug
+// JDK-8288975 lives).
+func (f *Func) ComputeLoops() {
+	f.RemoveUnreachable()
+	idom := f.Dominators()
+	f.Loops = nil
+	for _, b := range f.Blocks {
+		b.LoopDepth = 0
+		b.LoopID = -1
+	}
+
+	// Back edge b -> h where h dominates b.
+	for _, b := range f.Blocks {
+		for _, h := range b.Succs {
+			if !Dominates(idom, h, b) {
+				continue
+			}
+			// Collect the natural loop of (b, h): h plus all blocks
+			// reaching b without passing h.
+			var loop *Loop
+			for _, l := range f.Loops {
+				if l.Header == h {
+					loop = l
+					break
+				}
+			}
+			if loop == nil {
+				loop = &Loop{ID: len(f.Loops), Header: h, Blocks: map[int]bool{h.ID: true}, Parent: -1}
+				f.Loops = append(f.Loops, loop)
+			}
+			work := []*Block{b}
+			for len(work) > 0 {
+				x := work[len(work)-1]
+				work = work[:len(work)-1]
+				if loop.Blocks[x.ID] {
+					continue
+				}
+				loop.Blocks[x.ID] = true
+				for _, p := range x.Preds {
+					work = append(work, p)
+				}
+			}
+		}
+	}
+
+	// Nesting: loop A is inside B if A's header is in B's block set
+	// (and A != B). Depth = number of enclosing loops + 1.
+	for _, l := range f.Loops {
+		for _, m := range f.Loops {
+			if l == m || !m.Blocks[l.Header.ID] {
+				continue // m does not enclose l
+			}
+			// Among enclosing loops pick the innermost (smallest).
+			if l.Parent == -1 || len(m.Blocks) < len(f.Loops[l.Parent].Blocks) {
+				l.Parent = m.ID
+			}
+		}
+	}
+	for _, l := range f.Loops {
+		d := 1
+		p := l.Parent
+		for p != -1 {
+			d++
+			p = f.Loops[p].Parent
+		}
+		l.Depth = d
+	}
+
+	// Per block: innermost containing loop.
+	for _, b := range f.Blocks {
+		for _, l := range f.Loops {
+			if l.Blocks[b.ID] && l.Depth > b.LoopDepth {
+				b.LoopDepth = l.Depth
+				b.LoopID = l.ID
+			}
+		}
+		b.Freq = 1
+		for i := 0; i < b.LoopDepth; i++ {
+			b.Freq *= 10
+		}
+	}
+}
+
+// SplitCriticalEdges inserts empty blocks on edges from multi-successor
+// blocks to blocks that need phi-resolving moves, so those moves have a
+// home during lowering. Edges into any block containing phis are split
+// (not just classic critical edges): a speculation-pruned join can
+// keep its phis with a single remaining predecessor.
+func (f *Func) SplitCriticalEdges() {
+	hasPhis := func(b *Block) bool {
+		for _, v := range b.Values {
+			if v.Op == OpPhi {
+				return true
+			}
+		}
+		return false
+	}
+	for _, b := range append([]*Block(nil), f.Blocks...) {
+		if len(b.Succs) < 2 {
+			continue
+		}
+		for si, s := range b.Succs {
+			if len(s.Preds) < 2 && !hasPhis(s) {
+				continue
+			}
+			mid := f.NewBlock()
+			mid.Kind = BlockPlain
+			mid.Succs = []*Block{s}
+			mid.Preds = []*Block{b}
+			b.Succs[si] = mid
+			// Replace b with mid in s.Preds (first occurrence that is b).
+			for pi, p := range s.Preds {
+				if p == b {
+					s.Preds[pi] = mid
+					break
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package ir
+
+// ReplaceAll rewrites every argument, control, and frame-state
+// reference according to repl, following replacement chains.
+func (f *Func) ReplaceAll(repl map[*Value]*Value) {
+	if len(repl) == 0 {
+		return
+	}
+	resolve := func(v *Value) *Value {
+		seen := 0
+		for {
+			w, ok := repl[v]
+			if !ok {
+				return v
+			}
+			v = w
+			if seen++; seen > len(repl)+1 {
+				panic("ir: replacement cycle")
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, v := range b.Values {
+			for i, a := range v.Args {
+				v.Args[i] = resolve(a)
+			}
+			if v.FS != nil {
+				for i, a := range v.FS.Locals {
+					v.FS.Locals[i] = resolve(a)
+				}
+				for i, a := range v.FS.Stack {
+					v.FS.Stack[i] = resolve(a)
+				}
+			}
+		}
+		if b.Ctrl != nil {
+			b.Ctrl = resolve(b.Ctrl)
+		}
+	}
+}
+
+// RemoveDead drops pure values with no uses, iterating to a fixed
+// point. Effectful values are always retained.
+func (f *Func) RemoveDead() {
+	for {
+		f.ComputeUses()
+		removed := false
+		for _, b := range f.Blocks {
+			kept := b.Values[:0]
+			for _, v := range b.Values {
+				if v.Uses == 0 && v.Pure() && v != b.Ctrl {
+					removed = true
+					continue
+				}
+				kept = append(kept, v)
+			}
+			b.Values = kept
+		}
+		if !removed {
+			return
+		}
+	}
+}
+
+// MoveValue relocates v from its block to the end of dst's value list
+// (before nothing — terminators are block fields, not values).
+func MoveValue(v *Value, dst *Block) {
+	src := v.Block
+	for i, w := range src.Values {
+		if w == v {
+			src.Values = append(src.Values[:i], src.Values[i+1:]...)
+			break
+		}
+	}
+	dst.Values = append(dst.Values, v)
+	v.Block = dst
+}
+
+// MoveValueFront relocates v to dst, after dst's phis but before
+// everything else.
+func MoveValueFront(v *Value, dst *Block) {
+	src := v.Block
+	for i, w := range src.Values {
+		if w == v {
+			src.Values = append(src.Values[:i], src.Values[i+1:]...)
+			break
+		}
+	}
+	insert := 0
+	for insert < len(dst.Values) && dst.Values[insert].Op == OpPhi {
+		insert++
+	}
+	dst.Values = append(dst.Values, nil)
+	copy(dst.Values[insert+1:], dst.Values[insert:])
+	dst.Values[insert] = v
+	v.Block = dst
+}
+
+// InsertAfter repositions newV (already in anchor's block, typically
+// just appended by NewValue) to sit immediately after anchor in the
+// block's value list, so list-order lowering sees defs before uses.
+func InsertAfter(newV, anchor *Value) {
+	b := anchor.Block
+	if newV.Block != b {
+		panic("ir: InsertAfter across blocks")
+	}
+	// Remove newV.
+	for i, w := range b.Values {
+		if w == newV {
+			b.Values = append(b.Values[:i], b.Values[i+1:]...)
+			break
+		}
+	}
+	for i, w := range b.Values {
+		if w == anchor {
+			b.Values = append(b.Values, nil)
+			copy(b.Values[i+2:], b.Values[i+1:])
+			b.Values[i+1] = newV
+			return
+		}
+	}
+	panic("ir: InsertAfter anchor not found")
+}
+
+// DomPreorder visits reachable blocks so that every block is visited
+// after its immediate dominator (a preorder of the dominator tree).
+func (f *Func) DomPreorder(idom []*Block) []*Block {
+	children := make([][]*Block, f.nextBlockID)
+	for _, b := range f.Blocks {
+		if b == f.Entry {
+			continue
+		}
+		d := idom[b.ID]
+		if d != nil {
+			children[d.ID] = append(children[d.ID], b)
+		}
+	}
+	var out []*Block
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		out = append(out, b)
+		for _, c := range children[b.ID] {
+			walk(c)
+		}
+	}
+	walk(f.Entry)
+	return out
+}

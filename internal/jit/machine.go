@@ -1,0 +1,253 @@
+package jit
+
+import (
+	"fmt"
+
+	"artemis/internal/vm"
+)
+
+// Run executes compiled code against the VM's runtime environment,
+// implementing vm.CompiledCode. The "machine" is a register machine
+// whose frame is a flat slice of int64 slots; it talks to the VM for
+// every heap, field, call, and print operation, like JIT-compiled
+// code calling runtime stubs.
+func (c *Code) Run(env vm.Env, args []int64) vm.ExecResult {
+	frame := make([]int64, c.frameSize)
+	unregister := env.RegisterRoots(func(yield func(int64)) {
+		for _, v := range frame {
+			yield(v)
+		}
+	})
+	defer unregister()
+
+	var backedges int64
+	pc := 0
+	instrs := int64(0)
+
+	// Compiled code runs faster than interpretation: charge 1 abstract
+	// step per 8 machine instructions, batched. The hs-perf-osr-storm
+	// defect instead re-enters the runtime constantly, making compiled
+	// code far more expensive than interpretation — the paper's
+	// "performance issue" bug class.
+	stepCost := int64(8)
+	if c.execBugs.perfStorm {
+		stepCost = 640
+	}
+	charge := func() *vm.Unwind {
+		instrs++
+		if instrs&63 == 0 {
+			return env.Step(stepCost)
+		}
+		return nil
+	}
+
+	for pc >= 0 && pc < len(c.ins) {
+		if uw := charge(); uw != nil {
+			return vm.ExecResult{Kind: vm.ExecUnwind, Unwind: uw, Backedges: backedges}
+		}
+		in := &c.ins[pc]
+		switch in.op {
+		case mNop:
+		case mLdi:
+			frame[in.d] = in.imm
+		case mLdArg:
+			frame[in.d] = args[in.imm]
+		case mMov:
+			frame[in.d] = frame[in.a]
+		case mBin:
+			a, b := frame[in.a], frame[in.b]
+			if in.bug32Mask {
+				// hs-cg-ushr-wide: long >>> with a 32-bit count mask.
+				frame[in.d] = int64(uint64(a) >> (uint64(b) & 31))
+				break
+			}
+			v, err := vm.EvalBinary(in.bop, in.wide, a, b)
+			if err != nil {
+				return c.unwindErr(env, err, backedges)
+			}
+			frame[in.d] = v
+		case mNeg:
+			if in.wide {
+				frame[in.d] = -frame[in.a]
+			} else {
+				frame[in.d] = int64(int32(-frame[in.a]))
+			}
+		case mBitNot:
+			if in.wide {
+				frame[in.d] = ^frame[in.a]
+			} else {
+				frame[in.d] = int64(int32(^frame[in.a]))
+			}
+		case mL2I:
+			frame[in.d] = int64(int32(frame[in.a]))
+		case mCmp:
+			if in.cond.Eval(frame[in.a], frame[in.b]) {
+				frame[in.d] = 1
+			} else {
+				frame[in.d] = 0
+			}
+		case mGetF:
+			frame[in.d] = env.GetField(int(in.imm))
+		case mPutF:
+			env.SetField(int(in.imm), frame[in.a])
+		case mNewArr:
+			h, err := env.NewArray(in.kind, int64(int32(frame[in.a])))
+			if err != nil {
+				return c.unwindErr(env, err, backedges)
+			}
+			frame[in.d] = h
+		case mALoad:
+			v, err := env.ArrayLoad(frame[in.a], int64(int32(frame[in.b])))
+			if err != nil {
+				return c.unwindErr(env, err, backedges)
+			}
+			frame[in.d] = v
+		case mALoadNC:
+			// Bounds-check-eliminated load: no check. An in-range
+			// index (which honest BCE guarantees) behaves identically;
+			// the buggy path can observe the canary word.
+			v := rawLoad(env, frame[in.a], int64(int32(frame[in.b])))
+			frame[in.d] = v
+		case mAStore:
+			ref, idx, val := frame[in.a], int64(int32(frame[in.b])), frame[in.c]
+			if err := env.ArrayStore(ref, idx, val); err != nil {
+				return c.unwindErr(env, err, backedges)
+			}
+			if c.execBugs.gcBarrier || c.execBugs.gcClear {
+				c.maybeCorrupt(env, ref, idx)
+			}
+		case mAStoreNC, mAStoreRaw:
+			ref, idx, val := frame[in.a], int64(int32(frame[in.b])), frame[in.c]
+			env.ArrayStoreRaw(ref, idx, val)
+			if c.execBugs.gcBarrier || c.execBugs.gcClear {
+				c.maybeCorrupt(env, ref, idx)
+			}
+		case mArrLen:
+			n, err := env.ArrayLen(frame[in.a])
+			if err != nil {
+				return c.unwindErr(env, err, backedges)
+			}
+			frame[in.d] = n
+		case mCall:
+			callArgs := make([]int64, len(in.args))
+			for i, r := range in.args {
+				callArgs[i] = frame[r]
+			}
+			ret, uw := env.CallMethod(int(in.imm), callArgs)
+			if uw != nil {
+				return vm.ExecResult{Kind: vm.ExecUnwind, Unwind: uw, Backedges: backedges}
+			}
+			frame[in.d] = ret
+		case mPrint:
+			env.Print(in.kind, frame[in.a])
+		case mJmp:
+			if int(in.imm) <= pc {
+				backedges++
+			}
+			pc = int(in.imm)
+			continue
+		case mBr:
+			if frame[in.a] != 0 {
+				if int(in.imm) <= pc {
+					backedges++
+				}
+				pc = int(in.imm)
+				continue
+			}
+		case mSwitch:
+			v := int64(int32(frame[in.a]))
+			t := in.table.deflt
+			for i, val := range in.table.vals {
+				if val == v {
+					t = in.table.targets[i]
+					break
+				}
+			}
+			if t <= pc {
+				backedges++
+			}
+			pc = t
+			continue
+		case mGuard:
+			if frame[in.a] != in.imm {
+				site := &c.deopts[in.deopt]
+				if c.execBugs.guardStackCrash && len(site.stack) >= 3 {
+					// hs-exec-guard-stack: the trap stub faults.
+					panic(fmt.Sprintf("SIGSEGV: uncommon trap stub, method %s, deopt pc %d", c.name, site.pc))
+				}
+				d := &vm.Deopt{
+					PC:     site.pc,
+					Reason: fmt.Sprintf("speculation failed in %s at bytecode %d", c.name, site.pc),
+				}
+				for _, l := range site.locals {
+					d.Locals = append(d.Locals, readLoc(frame, l))
+				}
+				for _, l := range site.stack {
+					d.Stack = append(d.Stack, readLoc(frame, l))
+				}
+				return vm.ExecResult{Kind: vm.ExecDeopt, Deopt: d, Backedges: backedges}
+			}
+		case mRet:
+			return vm.ExecResult{Kind: vm.ExecReturn, Value: frame[in.a], Backedges: backedges}
+		case mRetVoid:
+			return vm.ExecResult{Kind: vm.ExecReturn, Backedges: backedges}
+		default:
+			panic(fmt.Sprintf("jit: machine op %d", in.op))
+		}
+		pc++
+	}
+	panic(fmt.Sprintf("SIGSEGV: fell off compiled code of %s (pc %d)", c.name, pc))
+}
+
+func (c *Code) unwindErr(env vm.Env, err *vm.RuntimeError, backedges int64) vm.ExecResult {
+	e := *err
+	e.Msg = e.Msg + " (in " + c.name + ")"
+	return vm.ExecResult{Kind: vm.ExecUnwind, Unwind: &vm.Unwind{Err: &e}, Backedges: backedges}
+}
+
+func readLoc(frame []int64, l loc) int64 {
+	if l.isConst {
+		return l.val
+	}
+	return frame[l.val]
+}
+
+// rawLoad performs an unchecked array read. Indexes inside the object
+// (including the canary word) read whatever is there; anything else is
+// a compiled-code fault.
+func rawLoad(env vm.Env, ref, idx int64) int64 {
+	n, err := env.ArrayLen(ref)
+	if err != nil {
+		panic("SIGSEGV: unchecked load from invalid array")
+	}
+	if idx < 0 || idx > n {
+		panic(fmt.Sprintf("SIGSEGV: unchecked load at %d (length %d)", idx, n))
+	}
+	if idx == n {
+		// Reading the canary word through the eliminated check.
+		v, _ := env.ArrayLoad(ref, n-1)
+		return v ^ 0x5ca1ab1e
+	}
+	v, err2 := env.ArrayLoad(ref, idx)
+	if err2 != nil {
+		panic("SIGSEGV: unchecked load raced bounds")
+	}
+	return v
+}
+
+// maybeCorrupt applies the heap-corrupting store defects: oj-gc-barrier
+// smashes the canary of 4-aligned arrays on stores to element 0;
+// art-gc-clear does it on stores to the last element. The damage is
+// silent here and discovered later by the garbage collector.
+func (c *Code) maybeCorrupt(env vm.Env, ref, idx int64) {
+	n, err := env.ArrayLen(ref)
+	if err != nil || n < 4 || n%4 != 0 {
+		return
+	}
+	if c.execBugs.gcBarrier && idx == 0 {
+		env.ArrayStoreRaw(ref, n, 0x0badbeef)
+	}
+	if c.execBugs.gcClear && idx == n-1 {
+		env.ArrayStoreRaw(ref, n, 0x0badbeef)
+	}
+}

@@ -1,0 +1,104 @@
+package jit
+
+import (
+	"artemis/internal/bugs"
+	"artemis/internal/bytecode"
+	"artemis/internal/jit/ir"
+)
+
+// boundsCheckElim removes array bounds checks for the canonical
+// counted-loop pattern
+//
+//	i = phi(init, i + step); loop while i < a.length; ... a[i] ...
+//
+// with init >= 0 and step > 0, where a is loop-invariant. Accesses
+// proven in range become the NoCheck variants.
+//
+// The injected oj-bce-offbyone defect also accepts the inclusive bound
+// "i <= a.length" (which a correct VM answers with an
+// ArrayIndexOutOfBoundsException at i == length). For such loops the
+// eliminated store becomes a raw store that, at i == length, writes
+// the heap canary word — the corruption is then discovered by the
+// garbage collector, which is exactly how the paper's OpenJ9 crashes
+// present (Table 2: most OpenJ9 crashes are in the GC).
+func boundsCheckElim(f *ir.Func, bugSet bugs.Set) {
+	f.ComputeLoops()
+	offByOne := bugSet.Has("oj-bce-offbyone")
+
+	for _, l := range f.Loops {
+		h := l.Header
+		if h.Kind != ir.BlockIf || h.Ctrl == nil || h.Ctrl.Op != ir.OpCmp || h.Ctrl.Wide {
+			continue
+		}
+		cmp := h.Ctrl
+		// Our bytecode compiler negates loop conditions: the taken
+		// edge exits the loop. Require exactly that shape.
+		if l.Blocks[h.Succs[0].ID] || !l.Blocks[h.Succs[1].ID] {
+			continue
+		}
+		// cmp must be (i GE len) for "i < len", or — accepted only by
+		// the bug — (i GT len) for "i <= len".
+		exclusive := cmp.Cond == bytecode.CondGE
+		inclusive := cmp.Cond == bytecode.CondGT
+		if !exclusive && !(offByOne && inclusive) {
+			continue
+		}
+		iv := cmp.Args[0]
+		bound := cmp.Args[1]
+		if iv.Op != ir.OpPhi || iv.Block != h || len(iv.Args) != 2 {
+			continue
+		}
+		if bound.Op != ir.OpArrLen {
+			continue
+		}
+		ref := bound.Args[0]
+		if l.Blocks[ref.Block.ID] {
+			continue // array not loop-invariant
+		}
+		// Identify init (out-of-loop arg) and next (in-loop arg).
+		var init, next *ir.Value
+		for ai, a := range iv.Args {
+			if l.Blocks[h.Preds[ai].ID] {
+				next = a
+			} else {
+				init = a
+			}
+		}
+		if init == nil || next == nil {
+			continue
+		}
+		if init.Op != ir.OpConst || init.Aux < 0 {
+			continue
+		}
+		if next.Op != ir.OpAdd || next.Wide || next.Args[0] != iv {
+			continue
+		}
+		step := next.Args[1]
+		if step.Op != ir.OpConst || step.Aux <= 0 {
+			continue
+		}
+		// All checks passed: accesses a[i] inside the loop are
+		// provably in range (or — with the bug — provably wrong).
+		for _, b := range f.Blocks {
+			if !l.Blocks[b.ID] {
+				continue
+			}
+			for _, v := range b.Values {
+				switch v.Op {
+				case ir.OpALoad:
+					if v.Args[0] == ref && v.Args[1] == iv {
+						v.Op = ir.OpALoadNoCheck
+					}
+				case ir.OpAStore:
+					if v.Args[0] == ref && v.Args[1] == iv {
+						if inclusive {
+							v.Op = ir.OpAStoreRaw // heap corruption at i == length
+						} else {
+							v.Op = ir.OpAStoreNoCheck
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package jit
+
+import (
+	"artemis/internal/bugs"
+	"artemis/internal/jit/ir"
+)
+
+// globalCodeMotion schedules values into better blocks. The honest
+// part sinks pure single-use-block values into later blocks when that
+// does not increase loop depth (partial dead-code elimination).
+//
+// The injected defect hs-gcm-store-sink replicates JDK-8288975, the
+// paper's flagship bug (Section 2.2): a field increment
+// (load f; add; store f) sitting in an outer loop is moved into a
+// directly nested inner loop when the pass's static frequency
+// estimates tie. The inner loop executes more iterations than the
+// outer loop body, so the increment is applied too many times and the
+// program output changes — a silent mis-compilation.
+func globalCodeMotion(f *ir.Func, bugSet bugs.Set) {
+	f.ComputeLoops()
+	idom := f.Dominators()
+
+	// useBlocks[v] = blocks containing a use of v (args, ctrl, frame
+	// states).
+	useBlocks := map[*ir.Value]map[*ir.Block]bool{}
+	addUse := func(v *ir.Value, b *ir.Block) {
+		m := useBlocks[v]
+		if m == nil {
+			m = map[*ir.Block]bool{}
+			useBlocks[v] = m
+		}
+		m[b] = true
+	}
+	for _, b := range f.Blocks {
+		for _, v := range b.Values {
+			for i, a := range v.Args {
+				if v.Op == ir.OpPhi {
+					// A phi use happens at the end of the i-th pred.
+					addUse(a, b.Preds[i])
+				} else {
+					addUse(a, b)
+				}
+			}
+			if v.FS != nil {
+				for _, a := range v.FS.Locals {
+					addUse(a, b)
+				}
+				for _, a := range v.FS.Stack {
+					addUse(a, b)
+				}
+			}
+		}
+		if b.Ctrl != nil {
+			addUse(b.Ctrl, b)
+		}
+	}
+
+	// Honest sinking.
+	for _, b := range f.Blocks {
+		for _, v := range append([]*ir.Value(nil), b.Values...) {
+			if !v.Pure() || v.Trapping() || v.Op == ir.OpPhi || v.Op == ir.OpParam || v == b.Ctrl {
+				continue
+			}
+			uses := useBlocks[v]
+			if len(uses) != 1 {
+				continue
+			}
+			var dst *ir.Block
+			for u := range uses {
+				dst = u
+			}
+			if dst == b || !ir.Dominates(idom, b, dst) || dst.LoopDepth > b.LoopDepth {
+				continue
+			}
+			// Args must dominate the new position; they dominate b,
+			// and b dominates dst, so this holds automatically.
+			ir.MoveValueFront(v, dst)
+			// Note: moving after phis of dst; uses within dst are
+			// always later because SSA uses in the same block follow
+			// the def in our effect order only for effectful values.
+			// Pure consumers are position-independent until lowering,
+			// which schedules by dependency.
+		}
+	}
+
+	if bugSet.Has("hs-gcm-store-sink") {
+		buggyStoreSink(f)
+	}
+}
+
+// buggyStoreSink implements the JDK-8288975 replica. It looks for
+//
+//	loop L:            ── outer
+//	  loop M: ...      ── directly nested inner loop, no calls/stores
+//	  x = GetField f   ── in a block of L outside M
+//	  y = Add/Sub(x, k)
+//	  PutField f, y
+//
+// and, "because the frequency estimates tie", moves the whole
+// increment cluster into M's latch block, multiplying its executions.
+func buggyStoreSink(f *ir.Func) {
+	f.ComputeUses()
+	for _, l := range f.Loops {
+		// Find a direct child loop of l.
+		var inner *ir.Loop
+		for _, m := range f.Loops {
+			if m.Parent == l.ID {
+				inner = m
+				break
+			}
+		}
+		if inner == nil {
+			continue
+		}
+		// Inner loop must be free of calls and field stores (so the
+		// motion looks "legal" to the buggy heuristic).
+		if loopHasOp(f, inner, ir.OpCall) || loopHasOp(f, inner, ir.OpPutField) {
+			continue
+		}
+		// The fictitious tie: both loops get the same static estimate
+		// when the inner loop's header frequency is the standard 10x
+		// of its preheader — always true here, which is the bug.
+		latch := latchOf(f, inner)
+		if latch == nil {
+			continue
+		}
+		for _, b := range f.Blocks {
+			if !l.Blocks[b.ID] || inner.Blocks[b.ID] {
+				continue
+			}
+			for _, v := range append([]*ir.Value(nil), b.Values...) {
+				if v.Op != ir.OpPutField {
+					continue
+				}
+				add := v.Args[0]
+				if (add.Op != ir.OpAdd && add.Op != ir.OpSub) || add.Block != b || add.Uses != 1 {
+					continue
+				}
+				load := add.Args[0]
+				if load.Op != ir.OpGetField || load.Aux != v.Aux || load.Block != b || load.Uses != 1 {
+					continue
+				}
+				k := add.Args[1]
+				if k.Op != ir.OpConst && inner.Blocks[k.Block.ID] {
+					continue // operand not available in the inner loop
+				}
+				if l.Blocks[k.Block.ID] && k.Op != ir.OpConst {
+					continue // keep it simple: constant increments only
+				}
+				// Move load+add+store to the inner loop's latch.
+				ir.MoveValue(load, latch)
+				ir.MoveValue(add, latch)
+				ir.MoveValue(v, latch)
+				return // one miscompiled cluster is plenty
+			}
+		}
+	}
+}
+
+// latchOf returns a block inside l with a back edge to its header.
+func latchOf(f *ir.Func, l *ir.Loop) *ir.Block {
+	for _, b := range f.Blocks {
+		if !l.Blocks[b.ID] {
+			continue
+		}
+		for _, s := range b.Succs {
+			if s == l.Header {
+				return b
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package jit
+
+import (
+	"fmt"
+
+	"artemis/internal/bugs"
+	"artemis/internal/jit/ir"
+)
+
+// gvn performs dominator-scoped global value numbering over pure
+// values. Two injected defects live here:
+//
+//   - hs-gvn-across-store (mis-compilation): field loads are keyed by
+//     field index only, ignoring intervening stores and calls, so a
+//     stale load replaces a fresh one.
+//   - hs-gvn-table (compile-time crash): a fictitious value-number
+//     table capacity assert on very large methods.
+func gvn(f *ir.Func, bugSet bugs.Set) {
+	idom := f.Dominators()
+	order := f.DomPreorder(idom)
+
+	buggyLoads := bugSet.Has("hs-gvn-across-store")
+	tableLimit := -1
+	if bugSet.Has("hs-gvn-table") {
+		tableLimit = 640
+	}
+
+	type entry struct {
+		v     *ir.Value
+		block *ir.Block
+	}
+	table := map[string][]entry{}
+	repl := map[*ir.Value]*ir.Value{}
+	size := 0
+
+	keyOf := func(v *ir.Value) (string, bool) {
+		switch {
+		case v.Op == ir.OpConst:
+			return fmt.Sprintf("c|%d", v.Aux), true
+		case v.Op == ir.OpCmp:
+			return fmt.Sprintf("cmp|%d|%t|%d|%d", v.Cond, v.Wide, id(repl, v.Args[0]), id(repl, v.Args[1])), true
+		case v.Op.IsBinArith() && v.Pure():
+			a0, a1 := id(repl, v.Args[0]), id(repl, v.Args[1])
+			// Normalize commutative operand order.
+			switch v.Op {
+			case ir.OpAdd, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor:
+				if a0 > a1 {
+					a0, a1 = a1, a0
+				}
+			}
+			return fmt.Sprintf("b|%d|%t|%d|%d", v.Op, v.Wide, a0, a1), true
+		case v.Op == ir.OpNeg || v.Op == ir.OpBitNot || v.Op == ir.OpL2I:
+			return fmt.Sprintf("u|%d|%t|%d", v.Op, v.Wide, id(repl, v.Args[0])), true
+		case v.Op == ir.OpArrLen:
+			return fmt.Sprintf("len|%d", id(repl, v.Args[0])), true
+		case buggyLoads && v.Op == ir.OpGetField:
+			// BUG: the key omits any notion of memory state, merging
+			// loads across stores along the dominator path.
+			return fmt.Sprintf("fld|%d", v.Aux), true
+		}
+		return "", false
+	}
+
+	for _, b := range order {
+		for _, v := range b.Values {
+			key, ok := keyOf(v)
+			if !ok {
+				continue
+			}
+			found := false
+			for _, e := range table[key] {
+				if ir.Dominates(idom, e.block, b) {
+					repl[v] = e.v
+					found = true
+					break
+				}
+			}
+			if !found {
+				table[key] = append(table[key], entry{v, b})
+				size++
+				if tableLimit > 0 && size > tableLimit {
+					crashf("Global Value Numbering, C2",
+						"value table overflow (%d entries)", size)
+				}
+			}
+		}
+	}
+	f.ReplaceAll(repl)
+	f.RemoveDead()
+}
+
+// id resolves replacement chains and returns a stable value id for
+// hashing.
+func id(repl map[*ir.Value]*ir.Value, v *ir.Value) ir.ID {
+	for {
+		w, ok := repl[v]
+		if !ok {
+			return v.ID
+		}
+		v = w
+	}
+}

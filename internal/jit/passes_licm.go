@@ -1,0 +1,217 @@
+package jit
+
+import (
+	"artemis/internal/bugs"
+	"artemis/internal/jit/ir"
+)
+
+// loopOptimize is the "ideal loop optimization" stage: loop-invariant
+// code motion of pure values plus field-load hoisting when the loop
+// provably contains no interfering store. Injected defects:
+//
+//   - hs-loopopt-nest (crash): assertion on deep nests containing
+//     calls — the exact shape JoNM's MI mutator manufactures.
+//   - oj-vector-legality (crash): the vectorizer legality check (run
+//     here, where loop structure is known) asserts on loops with many
+//     array stores.
+func loopOptimize(f *ir.Func, bugSet bugs.Set) {
+	f.ComputeLoops()
+
+	for _, l := range f.Loops {
+		if bugSet.Has("hs-loopopt-nest") && l.Depth >= 3 && loopHasOp(f, l, ir.OpCall) {
+			crashf("Ideal Loop Optimization, C2",
+				"loop tree assert: depth-%d nest contains calls", l.Depth)
+		}
+		if bugSet.Has("oj-vector-legality") {
+			stores := 0
+			for _, b := range f.Blocks {
+				if !l.Blocks[b.ID] {
+					continue
+				}
+				for _, v := range b.Values {
+					if v.Op == ir.OpAStore || v.Op == ir.OpAStoreNoCheck {
+						stores++
+					}
+				}
+			}
+			if stores >= 7 {
+				crashf("Loop Vectorization", "legality check: %d candidate stores", stores)
+			}
+		}
+	}
+
+	// Hoist from innermost loops outward so values can bubble up
+	// through multiple levels.
+	loops := append([]*ir.Loop(nil), f.Loops...)
+	for i := range loops {
+		for j := i + 1; j < len(loops); j++ {
+			if loops[j].Depth > loops[i].Depth {
+				loops[i], loops[j] = loops[j], loops[i]
+			}
+		}
+	}
+	for _, l := range loops {
+		hoistLoop(f, l)
+	}
+	f.RemoveDead()
+}
+
+func loopHasOp(f *ir.Func, l *ir.Loop, op ir.Op) bool {
+	for _, b := range f.Blocks {
+		if !l.Blocks[b.ID] {
+			continue
+		}
+		for _, v := range b.Values {
+			if v.Op == op {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// preheaderOf returns the unique out-of-loop predecessor of the loop
+// header when it is an unconditional block (our bytecode compiler's
+// canonical loop shape), or nil when hoisting is not safely possible.
+func preheaderOf(f *ir.Func, l *ir.Loop) *ir.Block {
+	var pre *ir.Block
+	for _, p := range l.Header.Preds {
+		if l.Blocks[p.ID] {
+			continue // back edge
+		}
+		if pre != nil {
+			return nil // multiple entries
+		}
+		pre = p
+	}
+	if pre == nil || len(pre.Succs) != 1 {
+		return nil
+	}
+	return pre
+}
+
+func hoistLoop(f *ir.Func, l *ir.Loop) {
+	pre := preheaderOf(f, l)
+	if pre == nil {
+		return
+	}
+
+	// Interference summary for field-load hoisting.
+	hasCall := false
+	storedFields := map[int64]bool{}
+	for _, b := range f.Blocks {
+		if !l.Blocks[b.ID] {
+			continue
+		}
+		for _, v := range b.Values {
+			switch v.Op {
+			case ir.OpCall:
+				hasCall = true
+			case ir.OpPutField:
+				storedFields[v.Aux] = true
+			}
+		}
+	}
+
+	inLoop := func(v *ir.Value) bool { return l.Blocks[v.Block.ID] }
+	hoisted := map[*ir.Value]bool{}
+	invariantArg := func(a *ir.Value) bool { return !inLoop(a) || hoisted[a] }
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			if !l.Blocks[b.ID] {
+				continue
+			}
+			for _, v := range append([]*ir.Value(nil), b.Values...) {
+				if hoisted[v] || v.Op == ir.OpPhi || v == b.Ctrl {
+					continue
+				}
+				movable := false
+				switch {
+				case v.Pure() && !v.Trapping():
+					movable = true
+				case v.Op == ir.OpGetField && !hasCall && !storedFields[v.Aux]:
+					// Loads are hoistable when nothing in the loop can
+					// store the field (calls conservatively might).
+					movable = true
+				}
+				if !movable {
+					continue
+				}
+				ok := true
+				for _, a := range v.Args {
+					if !invariantArg(a) {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				ir.MoveValue(v, pre)
+				hoisted[v] = true
+				changed = true
+			}
+		}
+	}
+}
+
+// shapeChecks hosts compile-time assertion bugs that are pure shape
+// detectors on the final-ish IR: escape analysis and the
+// JIT-interpreter transition check.
+func shapeChecks(f *ir.Func, bugSet bugs.Set) {
+	if bugSet.Has("hs-ea-phi") {
+		for _, b := range f.Blocks {
+			for _, v := range b.Values {
+				if v.Op != ir.OpPhi {
+					continue
+				}
+				for _, a := range v.Args {
+					if a.Op == ir.OpNewArr {
+						crashf("Escape Analysis, C2",
+							"allocation v%d merges into phi v%d", a.ID, v.ID)
+					}
+				}
+			}
+		}
+	}
+	if bugSet.Has("oj-jitint-guard") {
+		guards, calls := 0, 0
+		for _, b := range f.Blocks {
+			for _, v := range b.Values {
+				switch v.Op {
+				case ir.OpGuard:
+					guards++
+				case ir.OpCall:
+					calls++
+				}
+			}
+		}
+		if guards >= 2 && calls >= 1 {
+			crashf("Other JIT Components",
+				"JIT-INT transition map: %d guards with live calls", guards)
+		}
+	}
+	if bugSet.Has("oj-gvp-join") {
+		for _, b := range f.Blocks {
+			for _, v := range b.Values {
+				if v.Op != ir.OpPhi || len(v.Args) < 3 {
+					continue
+				}
+				fieldLoads := map[int64]int{}
+				for _, a := range v.Args {
+					if a.Op == ir.OpGetField {
+						fieldLoads[a.Aux]++
+					}
+				}
+				for _, n := range fieldLoads {
+					if n >= 2 {
+						crashf("Global Value Propagation",
+							"constraint merge on phi v%d with repeated field loads", v.ID)
+					}
+				}
+			}
+		}
+	}
+}

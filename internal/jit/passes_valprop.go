@@ -1,0 +1,37 @@
+package jit
+
+import (
+	"artemis/internal/bugs"
+	"artemis/internal/jit/ir"
+)
+
+// localValueProp forwards field values within basic blocks: a load
+// after a store (or another load) of the same field reuses the known
+// value. Calls clobber all fields — except under the injected
+// oj-lvp-across-call defect, which forwards straight across calls and
+// so resurrects stale values whenever the callee writes the field.
+func localValueProp(f *ir.Func, bugSet bugs.Set) {
+	acrossCalls := bugSet.Has("oj-lvp-across-call")
+	repl := map[*ir.Value]*ir.Value{}
+	for _, b := range f.Blocks {
+		avail := map[int64]*ir.Value{}
+		for _, v := range b.Values {
+			switch v.Op {
+			case ir.OpGetField:
+				if known := avail[v.Aux]; known != nil {
+					repl[v] = known
+				} else {
+					avail[v.Aux] = v
+				}
+			case ir.OpPutField:
+				avail[v.Aux] = v.Args[0]
+			case ir.OpCall:
+				if !acrossCalls {
+					avail = map[int64]*ir.Value{}
+				}
+			}
+		}
+	}
+	f.ReplaceAll(repl)
+	f.RemoveDead()
+}

@@ -1,0 +1,335 @@
+// Package jonm implements JIT-Op Neutral Mutation (Section 3.3-3.4 of
+// the paper): semantics-preserving, source-level mutations built
+// around JIT-relevant operations (loops and method calls) that steer
+// the VM to different JIT compilation choices for the same observable
+// behaviour. It is the Artemis mutation engine: three mutators — Loop
+// Inserter (LI), Statement Wrapper (SW), and Method Invocator (MI) —
+// driven by sketch-based loop synthesis (Algorithm 2).
+//
+// Neutrality is guaranteed by construction:
+//
+//   - synthesized loops have bounded, value-dependent trip counts
+//     (the min(MIN,·)/max(MAX,·) headers of Figure 3, with a modulo
+//     clamp so mutants stay within the step budget);
+//   - every pre-existing variable the synthesized code writes is
+//     backed up before the loop and restored after (the V' set of
+//     Algorithm 2);
+//   - synthesized code never prints (the paper redirects System.out;
+//     MJ's only output channel is print, which we simply never emit);
+//   - synthesized expressions cannot throw: divisions are |1-guarded
+//     and array indexes are masked and taken modulo the length
+//     (replacing the paper's catch-and-discard wrapping);
+//   - MI's early-return prologue writes only fresh locals, so the
+//     thousands of pre-invocations it triggers are pure heat.
+package jonm
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"artemis/internal/lang/ast"
+	"artemis/internal/lang/sem"
+)
+
+// MutatorName identifies one of the three mutators.
+type MutatorName string
+
+const (
+	LI MutatorName = "LI" // Loop Inserter
+	SW MutatorName = "SW" // Statement Wrapper
+	MI MutatorName = "MI" // Method Invocator
+)
+
+// Config tunes mutation; Min/Max/StepMax are the loop-synthesis
+// hyper-parameters of Figure 3, set per target VM (Section 4.1).
+type Config struct {
+	// Min and Max are the MIN/MAX loop-header bounds.
+	Min, Max int64
+	// StepMax bounds the random STEP (paper: 1..10).
+	StepMax int64
+	// Rand is the mutation RNG (required).
+	Rand *rand.Rand
+	// MethodProb is the FlipCoin probability of mutating each method
+	// (Algorithm 1, line 11). Default 0.5.
+	MethodProb float64
+	// Mutators restricts the mutator set (default all three) — used
+	// by the ablation benchmarks.
+	Mutators []MutatorName
+	// DisableSkeletons turns off statement-skeleton synthesis inside
+	// loops (<stmts> holes stay empty) — used by the ablation
+	// benchmarks; Section 3.4 argues skeletons diversify the control
+	// and data flow of synthesized loops.
+	DisableSkeletons bool
+}
+
+func (c *Config) withDefaults() *Config {
+	out := *c
+	if out.Min == 0 {
+		out.Min = 5000
+	}
+	if out.Max == 0 {
+		out.Max = 10000
+	}
+	if out.StepMax == 0 {
+		out.StepMax = 10
+	}
+	if out.MethodProb == 0 {
+		out.MethodProb = 0.5
+	}
+	if len(out.Mutators) == 0 {
+		out.Mutators = []MutatorName{LI, SW, MI}
+	}
+	return &out
+}
+
+// Application records one applied mutation for reports.
+type Application struct {
+	Mutator MutatorName
+	Method  string
+	Detail  string
+}
+
+// Report summarizes one Mutate call.
+type Report struct {
+	Applied []Application
+}
+
+// Changed reports whether any mutation was applied.
+func (r *Report) Changed() bool { return len(r.Applied) > 0 }
+
+func (r *Report) String() string {
+	if len(r.Applied) == 0 {
+		return "no mutations"
+	}
+	parts := make([]string, len(r.Applied))
+	for i, a := range r.Applied {
+		parts[i] = fmt.Sprintf("%s@%s", a.Mutator, a.Method)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Mutate implements the JoNM function of Algorithm 1: clone the seed,
+// visit every method, flip a coin, and apply a random mutator at a
+// random program point. The result is always a valid program that is
+// observably equivalent to the seed; if no method got mutated, one
+// forced mutation is applied so every call yields a distinct JIT
+// trace.
+func Mutate(seed *ast.Program, cfg *Config) (*ast.Program, *Report, error) {
+	cfg = cfg.withDefaults()
+	p := ast.CloneProgram(seed)
+	mc := newMutationCtx(p, cfg)
+	report := &Report{}
+
+	methods := append([]*ast.Method(nil), p.Class.Methods...)
+	for _, m := range methods {
+		if mc.rng.Float64() >= cfg.MethodProb {
+			continue
+		}
+		if app, ok := mc.mutateMethod(m); ok {
+			report.Applied = append(report.Applied, app)
+		}
+	}
+	if len(report.Applied) == 0 {
+		// Force at least one mutation (LI on a random method) so the
+		// mutant is never identical to the seed.
+		m := methods[mc.rng.Intn(len(methods))]
+		if app, ok := mc.applyMutator(LI, m); ok {
+			report.Applied = append(report.Applied, app)
+		}
+	}
+
+	if _, err := sem.Analyze(p); err != nil {
+		return nil, nil, fmt.Errorf("jonm: mutation produced an invalid program (%s): %w", report, err)
+	}
+	return p, report, nil
+}
+
+// mutationCtx carries shared state across one Mutate call.
+type mutationCtx struct {
+	prog *ast.Program
+	cfg  *Config
+	rng  *rand.Rand
+
+	used    map[string]bool // every identifier in the program
+	counter int
+}
+
+func newMutationCtx(p *ast.Program, cfg *Config) *mutationCtx {
+	mc := &mutationCtx{prog: p, cfg: cfg, rng: cfg.Rand, used: map[string]bool{}}
+	if mc.rng == nil {
+		mc.rng = rand.New(rand.NewSource(1))
+	}
+	for _, f := range p.Class.Fields {
+		mc.used[f.Name] = true
+	}
+	for _, m := range p.Class.Methods {
+		mc.used[m.Name] = true
+		for _, prm := range m.Params {
+			mc.used[prm.Name] = true
+		}
+		ast.WalkStmts(m, func(s ast.Stmt) bool {
+			if d, ok := s.(*ast.DeclStmt); ok {
+				mc.used[d.Name] = true
+			}
+			return true
+		})
+	}
+	return mc
+}
+
+// fresh returns a new identifier unused anywhere in the program
+// (the paper's final renaming step, done eagerly).
+func (mc *mutationCtx) fresh(hint string) string {
+	for {
+		mc.counter++
+		name := fmt.Sprintf("jx%s%d", hint, mc.counter)
+		if !mc.used[name] {
+			mc.used[name] = true
+			return name
+		}
+	}
+}
+
+func (mc *mutationCtx) mutateMethod(m *ast.Method) (Application, bool) {
+	mut := mc.cfg.Mutators[mc.rng.Intn(len(mc.cfg.Mutators))]
+	return mc.applyMutator(mut, m)
+}
+
+func (mc *mutationCtx) applyMutator(mut MutatorName, m *ast.Method) (Application, bool) {
+	switch mut {
+	case LI:
+		return mc.loopInserter(m)
+	case SW:
+		if app, ok := mc.statementWrapper(m); ok {
+			return app, true
+		}
+		return mc.loopInserter(m) // no wrappable statement: fall back
+	case MI:
+		if app, ok := mc.methodInvocator(m); ok {
+			return app, true
+		}
+		return mc.loopInserter(m) // no call site: fall back
+	}
+	return Application{}, false
+}
+
+// ---------------------------------------------------------------------------
+// Program points and scopes
+// ---------------------------------------------------------------------------
+
+// scopeVar is a variable visible at a program point.
+type scopeVar struct {
+	name string
+	typ  ast.Type
+}
+
+// progPoint is an insertion point ρ: a position inside a statement
+// list, together with the variables in scope there.
+type progPoint struct {
+	list  *[]ast.Stmt
+	index int
+	scope []scopeVar
+}
+
+// insert places stmts at the point (before the statement currently at
+// index).
+func (pp *progPoint) insert(stmts ...ast.Stmt) {
+	l := *pp.list
+	out := make([]ast.Stmt, 0, len(l)+len(stmts))
+	out = append(out, l[:pp.index]...)
+	out = append(out, stmts...)
+	out = append(out, l[pp.index:]...)
+	*pp.list = out
+}
+
+// next returns the statement just after the point, or nil.
+func (pp *progPoint) next() ast.Stmt {
+	l := *pp.list
+	if pp.index < len(l) {
+		return l[pp.index]
+	}
+	return nil
+}
+
+// replaceNext swaps the statement after the point for repl.
+func (pp *progPoint) replaceNext(repl ast.Stmt) {
+	(*pp.list)[pp.index] = repl
+}
+
+// collectPoints enumerates every insertion point in m's body with its
+// scope (fields are added by the caller when relevant).
+func (mc *mutationCtx) collectPoints(m *ast.Method) []progPoint {
+	var points []progPoint
+	var scope []scopeVar
+	for _, p := range m.Params {
+		scope = append(scope, scopeVar{p.Name, p.Type})
+	}
+
+	snapshot := func() []scopeVar { return append([]scopeVar(nil), scope...) }
+
+	var walkList func(list *[]ast.Stmt)
+	var walkStmt func(s ast.Stmt)
+
+	walkList = func(list *[]ast.Stmt) {
+		mark := len(scope)
+		for i := 0; i <= len(*list); i++ {
+			points = append(points, progPoint{list: list, index: i, scope: snapshot()})
+			if i < len(*list) {
+				s := (*list)[i]
+				if d, ok := s.(*ast.DeclStmt); ok {
+					scope = append(scope, scopeVar{d.Name, d.Type})
+				}
+				walkStmt(s)
+			}
+		}
+		scope = scope[:mark]
+	}
+
+	walkStmt = func(s ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.Block:
+			walkList(&s.Stmts)
+		case *ast.IfStmt:
+			walkList(&s.Then.Stmts)
+			switch e := s.Else.(type) {
+			case *ast.Block:
+				walkList(&e.Stmts)
+			case *ast.IfStmt:
+				walkStmt(e)
+			}
+		case *ast.ForStmt:
+			mark := len(scope)
+			if d, ok := s.Init.(*ast.DeclStmt); ok {
+				scope = append(scope, scopeVar{d.Name, d.Type})
+			}
+			walkList(&s.Body.Stmts)
+			scope = scope[:mark]
+		case *ast.WhileStmt:
+			walkList(&s.Body.Stmts)
+		case *ast.SwitchStmt:
+			for _, c := range s.Cases {
+				walkList(&c.Body)
+			}
+		}
+	}
+
+	walkList(&m.Body.Stmts)
+	return points
+}
+
+// pickPoint selects a random program point ρ in m.
+func (mc *mutationCtx) pickPoint(m *ast.Method) progPoint {
+	points := mc.collectPoints(m)
+	return points[mc.rng.Intn(len(points))]
+}
+
+// scopeWithFields extends a point's scope with all class fields
+// (always visible).
+func (mc *mutationCtx) scopeWithFields(vars []scopeVar) []scopeVar {
+	out := append([]scopeVar(nil), vars...)
+	for _, f := range mc.prog.Class.Fields {
+		out = append(out, scopeVar{f.Name, f.Type})
+	}
+	return out
+}

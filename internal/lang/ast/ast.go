@@ -1,0 +1,568 @@
+// Package ast defines the abstract syntax tree for MJ, the Java-like
+// language used throughout this repository as the test-program language
+// for JIT-compiler validation (the role Java plays for Artemis in the
+// paper). The tree is deliberately close to Java: one class per program,
+// fields and methods, Java operator semantics, and Java-style runtime
+// exceptions.
+//
+// Every expression node carries a Type that is filled in by the sem
+// package; the bytecode compiler requires a type-checked tree.
+package ast
+
+import "fmt"
+
+// Pos is a byte offset into the source text. The zero value means
+// "unknown position" (used for synthesized nodes).
+type Pos int
+
+// Node is implemented by every AST node.
+type Node interface {
+	Position() Pos
+}
+
+// ---------------------------------------------------------------------------
+// Types
+// ---------------------------------------------------------------------------
+
+// Kind enumerates the primitive type kinds of MJ.
+type Kind int
+
+const (
+	KindInvalid Kind = iota
+	KindVoid
+	KindInt     // 32-bit wrapping two's complement, like Java int
+	KindLong    // 64-bit wrapping two's complement, like Java long
+	KindBoolean // true/false
+	KindArray   // one-dimensional array of a primitive element type
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindVoid:
+		return "void"
+	case KindInt:
+		return "int"
+	case KindLong:
+		return "long"
+	case KindBoolean:
+		return "boolean"
+	case KindArray:
+		return "array"
+	}
+	return "invalid"
+}
+
+// Type describes an MJ type. Types are values; compare with Equal.
+type Type struct {
+	Kind Kind
+	Elem Kind // element kind when Kind == KindArray
+}
+
+// Convenience type constants.
+var (
+	TypeInvalid = Type{Kind: KindInvalid}
+	TypeVoid    = Type{Kind: KindVoid}
+	TypeInt     = Type{Kind: KindInt}
+	TypeLong    = Type{Kind: KindLong}
+	TypeBoolean = Type{Kind: KindBoolean}
+)
+
+// ArrayOf returns the array type with the given element kind.
+func ArrayOf(elem Kind) Type { return Type{Kind: KindArray, Elem: elem} }
+
+// Equal reports whether two types are identical.
+func (t Type) Equal(u Type) bool { return t == u }
+
+// IsNumeric reports whether t is int or long.
+func (t Type) IsNumeric() bool { return t.Kind == KindInt || t.Kind == KindLong }
+
+// IsArray reports whether t is an array type.
+func (t Type) IsArray() bool { return t.Kind == KindArray }
+
+// ElemType returns the element type of an array type.
+func (t Type) ElemType() Type {
+	if t.Kind != KindArray {
+		return TypeInvalid
+	}
+	return Type{Kind: t.Elem}
+}
+
+func (t Type) String() string {
+	if t.Kind == KindArray {
+		return t.Elem.String() + "[]"
+	}
+	return t.Kind.String()
+}
+
+// ---------------------------------------------------------------------------
+// Program structure
+// ---------------------------------------------------------------------------
+
+// Program is a complete MJ compilation unit: exactly one class.
+type Program struct {
+	Class *Class
+}
+
+func (p *Program) Position() Pos { return p.Class.Position() }
+
+// Class is the single top-level class of a program. Its fields behave
+// like the instance fields of a singleton object (as in the paper's
+// examples, e.g. class T in Figure 2), and its methods can call each
+// other freely.
+type Class struct {
+	Pos     Pos
+	Name    string
+	Fields  []*Field
+	Methods []*Method
+}
+
+func (c *Class) Position() Pos { return c.Pos }
+
+// Method returns the method with the given name, or nil.
+func (c *Class) Method(name string) *Method {
+	for _, m := range c.Methods {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// Field returns the field with the given name, or nil.
+func (c *Class) Field(name string) *Field {
+	for _, f := range c.Fields {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Field is a class field with an optional initializer. Fields without
+// initializers default to 0/false/an empty array.
+type Field struct {
+	Pos  Pos
+	Type Type
+	Name string
+	Init Expr // may be nil
+}
+
+func (f *Field) Position() Pos { return f.Pos }
+
+// Method is a method definition. The entry point of a program is the
+// parameterless method "main".
+type Method struct {
+	Pos    Pos
+	Ret    Type // TypeVoid for void methods
+	Name   string
+	Params []*Param
+	Body   *Block
+}
+
+func (m *Method) Position() Pos { return m.Pos }
+
+// Param is a formal method parameter.
+type Param struct {
+	Pos  Pos
+	Type Type
+	Name string
+}
+
+func (p *Param) Position() Pos { return p.Pos }
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Block is a braced statement sequence with its own scope.
+type Block struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// DeclStmt declares (and optionally initializes) a local variable.
+// Array-typed locals must have an initializer.
+type DeclStmt struct {
+	Pos  Pos
+	Type Type
+	Name string
+	Init Expr // may be nil for scalars
+
+	// Slot is the local-variable slot assigned by sem.
+	Slot int
+}
+
+// AssignOp enumerates assignment operators.
+type AssignOp int
+
+const (
+	AsnSet  AssignOp = iota // =
+	AsnAdd                  // +=
+	AsnSub                  // -=
+	AsnMul                  // *=
+	AsnDiv                  // /=
+	AsnRem                  // %=
+	AsnAnd                  // &=
+	AsnOr                   // |=
+	AsnXor                  // ^=
+	AsnShl                  // <<=
+	AsnShr                  // >>=
+	AsnUshr                 // >>>=
+)
+
+var assignOpNames = [...]string{"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=", ">>>="}
+
+func (op AssignOp) String() string { return assignOpNames[op] }
+
+// BinOp returns the binary operator corresponding to a compound
+// assignment operator (AsnAdd -> OpAdd, ...). It must not be called on
+// AsnSet.
+func (op AssignOp) BinOp() BinOp {
+	switch op {
+	case AsnAdd:
+		return OpAdd
+	case AsnSub:
+		return OpSub
+	case AsnMul:
+		return OpMul
+	case AsnDiv:
+		return OpDiv
+	case AsnRem:
+		return OpRem
+	case AsnAnd:
+		return OpAnd
+	case AsnOr:
+		return OpOr
+	case AsnXor:
+		return OpXor
+	case AsnShl:
+		return OpShl
+	case AsnShr:
+		return OpShr
+	case AsnUshr:
+		return OpUshr
+	}
+	panic(fmt.Sprintf("ast: AssignOp %d has no binary op", op))
+}
+
+// AssignStmt assigns to a variable, field, or array element.
+// i++ / i-- are desugared by the parser to i += 1 / i -= 1.
+type AssignStmt struct {
+	Pos    Pos
+	Target Expr // *Ident or *IndexExpr
+	Op     AssignOp
+	Value  Expr
+}
+
+// IfStmt is a conditional with an optional else branch. Else is either
+// a *Block or another *IfStmt (else-if chain), or nil.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then *Block
+	Else Stmt
+}
+
+// ForStmt is a C-style for loop. Init and Post may be nil; Cond may be
+// nil (infinite loop).
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt // *DeclStmt or *AssignStmt, or nil
+	Cond Expr
+	Post Stmt // *AssignStmt, or nil
+	Body *Block
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body *Block
+}
+
+// SwitchCase is one arm of a switch statement. A nil Values slice marks
+// the default arm. Execution falls through to the next arm unless the
+// body ends in break, as in Java.
+type SwitchCase struct {
+	Pos    Pos
+	Values []int64 // constant case labels; nil for default
+	Body   []Stmt
+}
+
+// SwitchStmt is a Java-style switch on an int expression with
+// fallthrough semantics.
+type SwitchStmt struct {
+	Pos   Pos
+	Tag   Expr
+	Cases []*SwitchCase
+}
+
+// BreakStmt breaks the innermost loop or switch.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+// ReturnStmt returns from the current method.
+type ReturnStmt struct {
+	Pos   Pos
+	Value Expr // nil for void returns
+}
+
+// ExprStmt evaluates an expression for its side effects (method call).
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// PrintStmt is the built-in print(expr); statement. It appends the
+// value to the program's observable output stream, the analogue of
+// System.out.println in the paper's test programs.
+type PrintStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+func (s *Block) Position() Pos        { return s.Pos }
+func (s *DeclStmt) Position() Pos     { return s.Pos }
+func (s *AssignStmt) Position() Pos   { return s.Pos }
+func (s *IfStmt) Position() Pos       { return s.Pos }
+func (s *ForStmt) Position() Pos      { return s.Pos }
+func (s *WhileStmt) Position() Pos    { return s.Pos }
+func (s *SwitchStmt) Position() Pos   { return s.Pos }
+func (s *BreakStmt) Position() Pos    { return s.Pos }
+func (s *ContinueStmt) Position() Pos { return s.Pos }
+func (s *ReturnStmt) Position() Pos   { return s.Pos }
+func (s *ExprStmt) Position() Pos     { return s.Pos }
+func (s *PrintStmt) Position() Pos    { return s.Pos }
+
+func (*Block) stmtNode()        {}
+func (*DeclStmt) stmtNode()     {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*ForStmt) stmtNode()      {}
+func (*WhileStmt) stmtNode()    {}
+func (*SwitchStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ReturnStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*PrintStmt) stmtNode()    {}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+// Expr is implemented by all expression nodes. Every expression carries
+// the type computed by semantic analysis.
+type Expr interface {
+	Node
+	exprNode()
+	// Type returns the type assigned by sem (TypeInvalid before
+	// analysis).
+	Type() Type
+	// SetType records the type during semantic analysis.
+	SetType(Type)
+}
+
+// typed is embedded in every expression node to hold its type.
+type typed struct{ T Type }
+
+func (t *typed) Type() Type      { return t.T }
+func (t *typed) SetType(ty Type) { t.T = ty }
+
+// IntLit is an integer literal. Long literals carry the 'L' suffix in
+// source (e.g. 42L).
+type IntLit struct {
+	typed
+	Pos    Pos
+	Value  int64
+	IsLong bool
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	typed
+	Pos   Pos
+	Value bool
+}
+
+// RefKind says what an identifier resolved to.
+type RefKind int
+
+const (
+	RefUnresolved RefKind = iota
+	RefLocal              // local variable or parameter; Index is the slot
+	RefField              // class field; Index is the field index
+)
+
+// Ident is a reference to a local variable, parameter, or field.
+// Sem resolves it and fills Ref/Index.
+type Ident struct {
+	typed
+	Pos  Pos
+	Name string
+
+	Ref   RefKind
+	Index int
+}
+
+// IndexExpr is arr[i].
+type IndexExpr struct {
+	typed
+	Pos   Pos
+	Arr   Expr
+	Index Expr
+}
+
+// LenExpr is arr.length.
+type LenExpr struct {
+	typed
+	Pos Pos
+	Arr Expr
+}
+
+// CallExpr invokes another method of the program's class.
+// Sem fills MethodIndex.
+type CallExpr struct {
+	typed
+	Pos  Pos
+	Name string
+	Args []Expr
+
+	MethodIndex int
+}
+
+// UnOp enumerates unary operators.
+type UnOp int
+
+const (
+	OpNeg    UnOp = iota // -x
+	OpNot                // !b
+	OpBitNot             // ~x
+)
+
+var unOpNames = [...]string{"-", "!", "~"}
+
+func (op UnOp) String() string { return unOpNames[op] }
+
+// UnaryExpr applies a unary operator.
+type UnaryExpr struct {
+	typed
+	Pos Pos
+	Op  UnOp
+	X   Expr
+}
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+const (
+	OpAdd  BinOp = iota // +
+	OpSub               // -
+	OpMul               // *
+	OpDiv               // /
+	OpRem               // %
+	OpAnd               // &
+	OpOr                // |
+	OpXor               // ^
+	OpShl               // <<
+	OpShr               // >>
+	OpUshr              // >>>
+	OpLt                // <
+	OpLe                // <=
+	OpGt                // >
+	OpGe                // >=
+	OpEq                // ==
+	OpNe                // !=
+	OpLAnd              // && (short-circuit)
+	OpLOr               // || (short-circuit)
+)
+
+var binOpNames = [...]string{
+	"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>", ">>>",
+	"<", "<=", ">", ">=", "==", "!=", "&&", "||",
+}
+
+func (op BinOp) String() string { return binOpNames[op] }
+
+// IsComparison reports whether op yields a boolean from two numeric
+// operands.
+func (op BinOp) IsComparison() bool { return op >= OpLt && op <= OpNe }
+
+// IsShift reports whether op is a shift operator.
+func (op BinOp) IsShift() bool { return op == OpShl || op == OpShr || op == OpUshr }
+
+// IsLogical reports whether op is a short-circuit boolean operator.
+func (op BinOp) IsLogical() bool { return op == OpLAnd || op == OpLOr }
+
+// BinaryExpr applies a binary operator. Java numeric promotion applies:
+// if either operand of an arithmetic/bitwise operator is long, the
+// operation is performed in 64 bits; otherwise in 32 bits. Shift result
+// width follows the left operand, and the shift count is masked (&31 or
+// &63) as in Java.
+type BinaryExpr struct {
+	typed
+	Pos Pos
+	Op  BinOp
+	X   Expr
+	Y   Expr
+}
+
+// CondExpr is the ternary operator cond ? a : b.
+type CondExpr struct {
+	typed
+	Pos  Pos
+	Cond Expr
+	Then Expr
+	Else Expr
+}
+
+// NewArrayExpr is "new int[n]" (zero-initialized) or, when Elems is
+// non-nil, "new int[]{...}".
+type NewArrayExpr struct {
+	typed
+	Pos   Pos
+	Elem  Kind
+	Len   Expr   // nil when Elems is given
+	Elems []Expr // nil for sized form
+}
+
+// CastExpr converts between int and long: (int)x or (long)x, with Java
+// narrowing (truncation) semantics.
+type CastExpr struct {
+	typed
+	Pos Pos
+	To  Type
+	X   Expr
+}
+
+func (e *IntLit) Position() Pos       { return e.Pos }
+func (e *BoolLit) Position() Pos      { return e.Pos }
+func (e *Ident) Position() Pos        { return e.Pos }
+func (e *IndexExpr) Position() Pos    { return e.Pos }
+func (e *LenExpr) Position() Pos      { return e.Pos }
+func (e *CallExpr) Position() Pos     { return e.Pos }
+func (e *UnaryExpr) Position() Pos    { return e.Pos }
+func (e *BinaryExpr) Position() Pos   { return e.Pos }
+func (e *CondExpr) Position() Pos     { return e.Pos }
+func (e *NewArrayExpr) Position() Pos { return e.Pos }
+func (e *CastExpr) Position() Pos     { return e.Pos }
+
+func (*IntLit) exprNode()       {}
+func (*BoolLit) exprNode()      {}
+func (*Ident) exprNode()        {}
+func (*IndexExpr) exprNode()    {}
+func (*LenExpr) exprNode()      {}
+func (*CallExpr) exprNode()     {}
+func (*UnaryExpr) exprNode()    {}
+func (*BinaryExpr) exprNode()   {}
+func (*CondExpr) exprNode()     {}
+func (*NewArrayExpr) exprNode() {}
+func (*CastExpr) exprNode()     {}

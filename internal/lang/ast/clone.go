@@ -1,0 +1,127 @@
+package ast
+
+import "fmt"
+
+// CloneProgram returns a deep copy of p. Mutation engines (jonm,
+// reduce) always clone before editing so the seed stays intact.
+func CloneProgram(p *Program) *Program {
+	return &Program{Class: cloneClass(p.Class)}
+}
+
+func cloneClass(c *Class) *Class {
+	nc := &Class{Pos: c.Pos, Name: c.Name}
+	for _, f := range c.Fields {
+		nc.Fields = append(nc.Fields, &Field{Pos: f.Pos, Type: f.Type, Name: f.Name, Init: CloneExpr(f.Init)})
+	}
+	for _, m := range c.Methods {
+		nc.Methods = append(nc.Methods, CloneMethod(m))
+	}
+	return nc
+}
+
+// CloneMethod returns a deep copy of m.
+func CloneMethod(m *Method) *Method {
+	nm := &Method{Pos: m.Pos, Ret: m.Ret, Name: m.Name, Body: CloneBlock(m.Body)}
+	for _, p := range m.Params {
+		nm.Params = append(nm.Params, &Param{Pos: p.Pos, Type: p.Type, Name: p.Name})
+	}
+	return nm
+}
+
+// CloneBlock returns a deep copy of b.
+func CloneBlock(b *Block) *Block {
+	if b == nil {
+		return nil
+	}
+	nb := &Block{Pos: b.Pos}
+	for _, s := range b.Stmts {
+		nb.Stmts = append(nb.Stmts, CloneStmt(s))
+	}
+	return nb
+}
+
+// CloneStmt returns a deep copy of s.
+func CloneStmt(s Stmt) Stmt {
+	switch s := s.(type) {
+	case nil:
+		return nil
+	case *Block:
+		return CloneBlock(s)
+	case *DeclStmt:
+		return &DeclStmt{Pos: s.Pos, Type: s.Type, Name: s.Name, Init: CloneExpr(s.Init), Slot: s.Slot}
+	case *AssignStmt:
+		return &AssignStmt{Pos: s.Pos, Target: CloneExpr(s.Target), Op: s.Op, Value: CloneExpr(s.Value)}
+	case *IfStmt:
+		return &IfStmt{Pos: s.Pos, Cond: CloneExpr(s.Cond), Then: CloneBlock(s.Then), Else: CloneStmt(s.Else)}
+	case *ForStmt:
+		return &ForStmt{Pos: s.Pos, Init: CloneStmt(s.Init), Cond: CloneExpr(s.Cond), Post: CloneStmt(s.Post), Body: CloneBlock(s.Body)}
+	case *WhileStmt:
+		return &WhileStmt{Pos: s.Pos, Cond: CloneExpr(s.Cond), Body: CloneBlock(s.Body)}
+	case *SwitchStmt:
+		ns := &SwitchStmt{Pos: s.Pos, Tag: CloneExpr(s.Tag)}
+		for _, c := range s.Cases {
+			nc := &SwitchCase{Pos: c.Pos}
+			if c.Values != nil {
+				nc.Values = append([]int64(nil), c.Values...)
+			}
+			for _, bs := range c.Body {
+				nc.Body = append(nc.Body, CloneStmt(bs))
+			}
+			ns.Cases = append(ns.Cases, nc)
+		}
+		return ns
+	case *BreakStmt:
+		return &BreakStmt{Pos: s.Pos}
+	case *ContinueStmt:
+		return &ContinueStmt{Pos: s.Pos}
+	case *ReturnStmt:
+		return &ReturnStmt{Pos: s.Pos, Value: CloneExpr(s.Value)}
+	case *ExprStmt:
+		return &ExprStmt{Pos: s.Pos, X: CloneExpr(s.X)}
+	case *PrintStmt:
+		return &PrintStmt{Pos: s.Pos, X: CloneExpr(s.X)}
+	}
+	panic(fmt.Sprintf("ast: clone of unknown statement %T", s))
+}
+
+// CloneExpr returns a deep copy of e (nil-safe).
+func CloneExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *IntLit:
+		cp := *e
+		return &cp
+	case *BoolLit:
+		cp := *e
+		return &cp
+	case *Ident:
+		cp := *e
+		return &cp
+	case *IndexExpr:
+		return &IndexExpr{typed: e.typed, Pos: e.Pos, Arr: CloneExpr(e.Arr), Index: CloneExpr(e.Index)}
+	case *LenExpr:
+		return &LenExpr{typed: e.typed, Pos: e.Pos, Arr: CloneExpr(e.Arr)}
+	case *CallExpr:
+		nc := &CallExpr{typed: e.typed, Pos: e.Pos, Name: e.Name, MethodIndex: e.MethodIndex}
+		for _, a := range e.Args {
+			nc.Args = append(nc.Args, CloneExpr(a))
+		}
+		return nc
+	case *UnaryExpr:
+		return &UnaryExpr{typed: e.typed, Pos: e.Pos, Op: e.Op, X: CloneExpr(e.X)}
+	case *BinaryExpr:
+		return &BinaryExpr{typed: e.typed, Pos: e.Pos, Op: e.Op, X: CloneExpr(e.X), Y: CloneExpr(e.Y)}
+	case *CondExpr:
+		return &CondExpr{typed: e.typed, Pos: e.Pos, Cond: CloneExpr(e.Cond), Then: CloneExpr(e.Then), Else: CloneExpr(e.Else)}
+	case *NewArrayExpr:
+		ne := &NewArrayExpr{typed: e.typed, Pos: e.Pos, Elem: e.Elem, Len: CloneExpr(e.Len)}
+		for _, el := range e.Elems {
+			ne.Elems = append(ne.Elems, CloneExpr(el))
+		}
+		return ne
+	case *CastExpr:
+		return &CastExpr{typed: e.typed, Pos: e.Pos, To: e.To, X: CloneExpr(e.X)}
+	}
+	panic(fmt.Sprintf("ast: clone of unknown expression %T", e))
+}

@@ -1,0 +1,169 @@
+package ast
+
+import "fmt"
+
+// WalkStmts calls fn for every statement in the method body, in source
+// order, including nested statements. If fn returns false, the walk
+// stops early. The *Block wrappers themselves are visited too.
+func WalkStmts(m *Method, fn func(Stmt) bool) {
+	walkBlock(m.Body, fn)
+}
+
+func walkBlock(b *Block, fn func(Stmt) bool) bool {
+	if b == nil {
+		return true
+	}
+	if !fn(b) {
+		return false
+	}
+	for _, s := range b.Stmts {
+		if !walkStmt(s, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+func walkStmt(s Stmt, fn func(Stmt) bool) bool {
+	switch s := s.(type) {
+	case *Block:
+		return walkBlock(s, fn)
+	case *IfStmt:
+		if !fn(s) {
+			return false
+		}
+		if !walkBlock(s.Then, fn) {
+			return false
+		}
+		if s.Else != nil {
+			return walkStmt(s.Else, fn)
+		}
+		return true
+	case *ForStmt:
+		if !fn(s) {
+			return false
+		}
+		return walkBlock(s.Body, fn)
+	case *WhileStmt:
+		if !fn(s) {
+			return false
+		}
+		return walkBlock(s.Body, fn)
+	case *SwitchStmt:
+		if !fn(s) {
+			return false
+		}
+		for _, c := range s.Cases {
+			for _, bs := range c.Body {
+				if !walkStmt(bs, fn) {
+					return false
+				}
+			}
+		}
+		return true
+	default:
+		return fn(s)
+	}
+}
+
+// WalkExprs calls fn for every expression reachable from e, pre-order.
+func WalkExprs(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch e := e.(type) {
+	case *IndexExpr:
+		WalkExprs(e.Arr, fn)
+		WalkExprs(e.Index, fn)
+	case *LenExpr:
+		WalkExprs(e.Arr, fn)
+	case *CallExpr:
+		for _, a := range e.Args {
+			WalkExprs(a, fn)
+		}
+	case *UnaryExpr:
+		WalkExprs(e.X, fn)
+	case *BinaryExpr:
+		WalkExprs(e.X, fn)
+		WalkExprs(e.Y, fn)
+	case *CondExpr:
+		WalkExprs(e.Cond, fn)
+		WalkExprs(e.Then, fn)
+		WalkExprs(e.Else, fn)
+	case *NewArrayExpr:
+		WalkExprs(e.Len, fn)
+		for _, el := range e.Elems {
+			WalkExprs(el, fn)
+		}
+	case *CastExpr:
+		WalkExprs(e.X, fn)
+	case *IntLit, *BoolLit, *Ident:
+	default:
+		panic(fmt.Sprintf("ast: walk of unknown expression %T", e))
+	}
+}
+
+// WalkMethodExprs calls fn for every expression in the method body.
+func WalkMethodExprs(m *Method, fn func(Expr)) {
+	WalkStmts(m, func(s Stmt) bool {
+		switch s := s.(type) {
+		case *DeclStmt:
+			WalkExprs(s.Init, fn)
+		case *AssignStmt:
+			WalkExprs(s.Target, fn)
+			WalkExprs(s.Value, fn)
+		case *IfStmt:
+			WalkExprs(s.Cond, fn)
+		case *ForStmt:
+			// Init/Post are visited as their own statements only if
+			// they are inside the body; handle them here explicitly.
+			switch init := s.Init.(type) {
+			case *DeclStmt:
+				WalkExprs(init.Init, fn)
+			case *AssignStmt:
+				WalkExprs(init.Target, fn)
+				WalkExprs(init.Value, fn)
+			}
+			WalkExprs(s.Cond, fn)
+			if post, ok := s.Post.(*AssignStmt); ok {
+				WalkExprs(post.Target, fn)
+				WalkExprs(post.Value, fn)
+			}
+		case *WhileStmt:
+			WalkExprs(s.Cond, fn)
+		case *SwitchStmt:
+			WalkExprs(s.Tag, fn)
+		case *ReturnStmt:
+			WalkExprs(s.Value, fn)
+		case *ExprStmt:
+			WalkExprs(s.X, fn)
+		case *PrintStmt:
+			WalkExprs(s.X, fn)
+		}
+		return true
+	})
+}
+
+// CountStmts returns the number of statements in the method body
+// (excluding block wrappers), a simple size metric used by the fuzzer
+// and the reducer.
+func CountStmts(m *Method) int {
+	n := 0
+	WalkStmts(m, func(s Stmt) bool {
+		if _, ok := s.(*Block); !ok {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// ProgramSize returns the total statement count over all methods.
+func ProgramSize(p *Program) int {
+	n := 0
+	for _, m := range p.Class.Methods {
+		n += CountStmts(m)
+	}
+	return n
+}

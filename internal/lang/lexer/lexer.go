@@ -1,0 +1,425 @@
+// Package lexer tokenizes MJ source text.
+package lexer
+
+import (
+	"fmt"
+	"strconv"
+
+	"artemis/internal/lang/ast"
+)
+
+// Kind enumerates token kinds.
+type Kind int
+
+const (
+	EOF Kind = iota
+	Ident
+	IntLit  // 123
+	LongLit // 123L
+
+	// Keywords
+	KwClass
+	KwInt
+	KwLong
+	KwBoolean
+	KwVoid
+	KwIf
+	KwElse
+	KwFor
+	KwWhile
+	KwSwitch
+	KwCase
+	KwDefault
+	KwBreak
+	KwContinue
+	KwReturn
+	KwTrue
+	KwFalse
+	KwNew
+	KwPrint
+	KwLength
+
+	// Punctuation and operators
+	LBrace
+	RBrace
+	LParen
+	RParen
+	LBracket
+	RBracket
+	Semi
+	Comma
+	Colon
+	Question
+	Dot
+
+	Assign     // =
+	PlusAssign // +=
+	MinusAssign
+	StarAssign
+	SlashAssign
+	PercentAssign
+	AmpAssign
+	PipeAssign
+	CaretAssign
+	ShlAssign
+	ShrAssign
+	UshrAssign
+
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Amp
+	Pipe
+	Caret
+	Tilde
+	Bang
+	Shl
+	Shr
+	Ushr
+	Lt
+	Le
+	Gt
+	Ge
+	EqEq
+	NotEq
+	AndAnd
+	OrOr
+	PlusPlus
+	MinusMinus
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", Ident: "identifier", IntLit: "int literal", LongLit: "long literal",
+	KwClass: "'class'", KwInt: "'int'", KwLong: "'long'", KwBoolean: "'boolean'",
+	KwVoid: "'void'", KwIf: "'if'", KwElse: "'else'", KwFor: "'for'",
+	KwWhile: "'while'", KwSwitch: "'switch'", KwCase: "'case'", KwDefault: "'default'",
+	KwBreak: "'break'", KwContinue: "'continue'", KwReturn: "'return'",
+	KwTrue: "'true'", KwFalse: "'false'", KwNew: "'new'", KwPrint: "'print'",
+	KwLength: "'length'",
+	LBrace:   "'{'", RBrace: "'}'", LParen: "'('", RParen: "')'",
+	LBracket: "'['", RBracket: "']'", Semi: "';'", Comma: "','",
+	Colon: "':'", Question: "'?'", Dot: "'.'",
+	Assign: "'='", PlusAssign: "'+='", MinusAssign: "'-='", StarAssign: "'*='",
+	SlashAssign: "'/='", PercentAssign: "'%='", AmpAssign: "'&='",
+	PipeAssign: "'|='", CaretAssign: "'^='", ShlAssign: "'<<='",
+	ShrAssign: "'>>='", UshrAssign: "'>>>='",
+	Plus: "'+'", Minus: "'-'", Star: "'*'", Slash: "'/'", Percent: "'%'",
+	Amp: "'&'", Pipe: "'|'", Caret: "'^'", Tilde: "'~'", Bang: "'!'",
+	Shl: "'<<'", Shr: "'>>'", Ushr: "'>>>'",
+	Lt: "'<'", Le: "'<='", Gt: "'>'", Ge: "'>='", EqEq: "'=='", NotEq: "'!='",
+	AndAnd: "'&&'", OrOr: "'||'", PlusPlus: "'++'", MinusMinus: "'--'",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"class": KwClass, "int": KwInt, "long": KwLong, "boolean": KwBoolean,
+	"void": KwVoid, "if": KwIf, "else": KwElse, "for": KwFor, "while": KwWhile,
+	"switch": KwSwitch, "case": KwCase, "default": KwDefault, "break": KwBreak,
+	"continue": KwContinue, "return": KwReturn, "true": KwTrue, "false": KwFalse,
+	"new": KwNew, "print": KwPrint, "length": KwLength,
+}
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Pos  ast.Pos
+	Text string // identifier text
+	Int  int64  // literal value
+}
+
+// Error is a lexical error with position information.
+type Error struct {
+	Pos  ast.Pos
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+// Lexer scans MJ source.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer { return &Lexer{src: src, line: 1} }
+
+// Line returns the line number at offset pos (1-based), for error
+// reporting.
+func Line(src string, pos ast.Pos) int {
+	line := 1
+	for i := 0; i < int(pos) && i < len(src); i++ {
+		if src[i] == '\n' {
+			line++
+		}
+	}
+	return line
+}
+
+// Tokenize scans all of src into tokens (terminated by an EOF token).
+func Tokenize(src string) ([]Token, error) {
+	lx := New(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *Lexer) errorf(pos int, format string, args ...any) error {
+	return &Error{Pos: ast.Pos(pos), Line: l.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off < len(l.src) {
+		return l.src[l.off]
+	}
+	return 0
+}
+
+func (l *Lexer) peekAt(n int) byte {
+	if l.off+n < len(l.src) {
+		return l.src[l.off+n]
+	}
+	return 0
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		c := l.src[l.off]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			l.off++
+		case c == '\n':
+			l.line++
+			l.off++
+		case c == '/' && l.peekAt(1) == '/':
+			for l.off < len(l.src) && l.src[l.off] != '\n' {
+				l.off++
+			}
+		case c == '/' && l.peekAt(1) == '*':
+			start := l.off
+			l.off += 2
+			for {
+				if l.off+1 >= len(l.src) {
+					return l.errorf(start, "unterminated block comment")
+				}
+				if l.src[l.off] == '\n' {
+					l.line++
+				}
+				if l.src[l.off] == '*' && l.src[l.off+1] == '/' {
+					l.off += 2
+					break
+				}
+				l.off++
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := ast.Pos(l.off)
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := l.src[l.off]
+
+	// Identifiers and keywords.
+	if isIdentStart(c) {
+		start := l.off
+		for l.off < len(l.src) && (isIdentStart(l.src[l.off]) || isDigit(l.src[l.off])) {
+			l.off++
+		}
+		text := l.src[start:l.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Pos: pos, Text: text}, nil
+		}
+		return Token{Kind: Ident, Pos: pos, Text: text}, nil
+	}
+
+	// Numeric literals (decimal only; the fuzzer and printers emit
+	// decimal). A trailing L/l marks a long literal.
+	if isDigit(c) {
+		start := l.off
+		for l.off < len(l.src) && isDigit(l.src[l.off]) {
+			l.off++
+		}
+		text := l.src[start:l.off]
+		kind := IntLit
+		if l.peek() == 'L' || l.peek() == 'l' {
+			kind = LongLit
+			l.off++
+		}
+		// Parse as unsigned so that e.g. the printer output for
+		// -9223372036854775808 ("- 9223372036854775808") round-trips:
+		// the magnitude alone overflows int64, so accept up to 2^63 and
+		// wrap, matching how Java accepts Integer.MIN_VALUE spellings.
+		u, err := strconv.ParseUint(text, 10, 64)
+		if err != nil {
+			return Token{}, l.errorf(start, "bad integer literal %q", text)
+		}
+		v := int64(u)
+		if kind == IntLit {
+			if u > 1<<31 {
+				return Token{}, l.errorf(start, "int literal %q out of range", text)
+			}
+			v = int64(int32(u))
+		}
+		return Token{Kind: kind, Pos: pos, Int: v}, nil
+	}
+
+	// Operators and punctuation.
+	two := func(k Kind) (Token, error) { l.off += 2; return Token{Kind: k, Pos: pos}, nil }
+	one := func(k Kind) (Token, error) { l.off++; return Token{Kind: k, Pos: pos}, nil }
+
+	switch c {
+	case '{':
+		return one(LBrace)
+	case '}':
+		return one(RBrace)
+	case '(':
+		return one(LParen)
+	case ')':
+		return one(RParen)
+	case '[':
+		return one(LBracket)
+	case ']':
+		return one(RBracket)
+	case ';':
+		return one(Semi)
+	case ',':
+		return one(Comma)
+	case ':':
+		return one(Colon)
+	case '?':
+		return one(Question)
+	case '.':
+		return one(Dot)
+	case '~':
+		return one(Tilde)
+	case '+':
+		switch l.peekAt(1) {
+		case '+':
+			return two(PlusPlus)
+		case '=':
+			return two(PlusAssign)
+		}
+		return one(Plus)
+	case '-':
+		switch l.peekAt(1) {
+		case '-':
+			return two(MinusMinus)
+		case '=':
+			return two(MinusAssign)
+		}
+		return one(Minus)
+	case '*':
+		if l.peekAt(1) == '=' {
+			return two(StarAssign)
+		}
+		return one(Star)
+	case '/':
+		if l.peekAt(1) == '=' {
+			return two(SlashAssign)
+		}
+		return one(Slash)
+	case '%':
+		if l.peekAt(1) == '=' {
+			return two(PercentAssign)
+		}
+		return one(Percent)
+	case '&':
+		switch l.peekAt(1) {
+		case '&':
+			return two(AndAnd)
+		case '=':
+			return two(AmpAssign)
+		}
+		return one(Amp)
+	case '|':
+		switch l.peekAt(1) {
+		case '|':
+			return two(OrOr)
+		case '=':
+			return two(PipeAssign)
+		}
+		return one(Pipe)
+	case '^':
+		if l.peekAt(1) == '=' {
+			return two(CaretAssign)
+		}
+		return one(Caret)
+	case '!':
+		if l.peekAt(1) == '=' {
+			return two(NotEq)
+		}
+		return one(Bang)
+	case '=':
+		if l.peekAt(1) == '=' {
+			return two(EqEq)
+		}
+		return one(Assign)
+	case '<':
+		switch l.peekAt(1) {
+		case '=':
+			return two(Le)
+		case '<':
+			if l.peekAt(2) == '=' {
+				l.off += 3
+				return Token{Kind: ShlAssign, Pos: pos}, nil
+			}
+			return two(Shl)
+		}
+		return one(Lt)
+	case '>':
+		switch l.peekAt(1) {
+		case '=':
+			return two(Ge)
+		case '>':
+			if l.peekAt(2) == '>' {
+				if l.peekAt(3) == '=' {
+					l.off += 4
+					return Token{Kind: UshrAssign, Pos: pos}, nil
+				}
+				l.off += 3
+				return Token{Kind: Ushr, Pos: pos}, nil
+			}
+			if l.peekAt(2) == '=' {
+				l.off += 3
+				return Token{Kind: ShrAssign, Pos: pos}, nil
+			}
+			return two(Shr)
+		}
+		return one(Gt)
+	}
+	return Token{}, l.errorf(l.off, "unexpected character %q", c)
+}

@@ -1,0 +1,117 @@
+package lexer
+
+import "testing"
+
+func kinds(t *testing.T, src string) []Kind {
+	t.Helper()
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", src, err)
+	}
+	var ks []Kind
+	for _, tok := range toks {
+		ks = append(ks, tok.Kind)
+	}
+	return ks
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	got := kinds(t, "class Foo int x boolean b1 longVal void")
+	want := []Kind{KwClass, Ident, KwInt, Ident, KwBoolean, Ident, Ident, KwVoid, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	tests := []struct {
+		src  string
+		want []Kind
+	}{
+		{"+ - * / %", []Kind{Plus, Minus, Star, Slash, Percent, EOF}},
+		{"<< >> >>>", []Kind{Shl, Shr, Ushr, EOF}},
+		{"<<= >>= >>>=", []Kind{ShlAssign, ShrAssign, UshrAssign, EOF}},
+		{"< <= > >= == !=", []Kind{Lt, Le, Gt, Ge, EqEq, NotEq, EOF}},
+		{"&& || & | ^ ~ !", []Kind{AndAnd, OrOr, Amp, Pipe, Caret, Tilde, Bang, EOF}},
+		{"++ -- += -=", []Kind{PlusPlus, MinusMinus, PlusAssign, MinusAssign, EOF}},
+		{"*= /= %= &= |= ^=", []Kind{StarAssign, SlashAssign, PercentAssign, AmpAssign, PipeAssign, CaretAssign, EOF}},
+		{"a.length", []Kind{Ident, Dot, KwLength, EOF}},
+		{"x?y:z", []Kind{Ident, Question, Ident, Colon, Ident, EOF}},
+	}
+	for _, tt := range tests {
+		got := kinds(t, tt.src)
+		if len(got) != len(tt.want) {
+			t.Fatalf("%q: got %v want %v", tt.src, got, tt.want)
+		}
+		for i := range tt.want {
+			if got[i] != tt.want[i] {
+				t.Errorf("%q token %d: got %v want %v", tt.src, i, got[i], tt.want[i])
+			}
+		}
+	}
+}
+
+func TestIntLiterals(t *testing.T) {
+	toks, err := Tokenize("0 42 2147483647 2147483648 9L 9223372036854775807L")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKind := []Kind{IntLit, IntLit, IntLit, IntLit, LongLit, LongLit, EOF}
+	wantVal := []int64{0, 42, 2147483647, -2147483648, 9, 9223372036854775807}
+	for i, w := range wantKind {
+		if toks[i].Kind != w {
+			t.Errorf("token %d: kind %v want %v", i, toks[i].Kind, w)
+		}
+		if w != EOF && toks[i].Int != wantVal[i] {
+			t.Errorf("token %d: value %d want %d", i, toks[i].Int, wantVal[i])
+		}
+	}
+}
+
+func TestIntLiteralOverflow(t *testing.T) {
+	if _, err := Tokenize("2147483649"); err == nil {
+		t.Error("expected overflow error for 2147483649")
+	}
+	if _, err := Tokenize("99999999999999999999"); err == nil {
+		t.Error("expected overflow error for huge literal")
+	}
+}
+
+func TestComments(t *testing.T) {
+	got := kinds(t, "a // line comment\n b /* block\ncomment */ c")
+	want := []Kind{Ident, Ident, Ident, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestUnterminatedComment(t *testing.T) {
+	if _, err := Tokenize("a /* never ends"); err == nil {
+		t.Error("expected error for unterminated comment")
+	}
+}
+
+func TestBadCharacter(t *testing.T) {
+	if _, err := Tokenize("a @ b"); err == nil {
+		t.Error("expected error for '@'")
+	}
+}
+
+func TestLinePositions(t *testing.T) {
+	src := "a\nbb\nccc"
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLines := []int{1, 2, 3}
+	for i, want := range wantLines {
+		if got := Line(src, toks[i].Pos); got != want {
+			t.Errorf("token %d: line %d want %d", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,818 @@
+// Package parser parses MJ source into an ast.Program. The grammar is
+// a small Java subset; see DESIGN.md for a summary.
+package parser
+
+import (
+	"fmt"
+
+	"artemis/internal/lang/ast"
+	"artemis/internal/lang/lexer"
+)
+
+// Error is a syntax error with position information.
+type Error struct {
+	Pos  ast.Pos
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+// Parse parses a full MJ program.
+func Parse(src string) (*ast.Program, error) {
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	prog, err := p.program()
+	if err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type parser struct {
+	src  string
+	toks []lexer.Token
+	i    int
+}
+
+func (p *parser) cur() lexer.Token { return p.toks[p.i] }
+func (p *parser) peek() lexer.Token {
+	if p.i+1 < len(p.toks) {
+		return p.toks[p.i+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) next() lexer.Token {
+	t := p.toks[p.i]
+	if t.Kind != lexer.EOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) at(k lexer.Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) accept(k lexer.Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k lexer.Kind) (lexer.Token, error) {
+	if p.at(k) {
+		return p.next(), nil
+	}
+	return lexer.Token{}, p.errorf("expected %s, found %s", k, p.cur().Kind)
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	pos := p.cur().Pos
+	return &Error{Pos: pos, Line: lexer.Line(p.src, pos), Msg: fmt.Sprintf(format, args...)}
+}
+
+// isTypeStart reports whether the current token begins a type.
+func (p *parser) isTypeStart() bool {
+	switch p.cur().Kind {
+	case lexer.KwInt, lexer.KwLong, lexer.KwBoolean:
+		return true
+	}
+	return false
+}
+
+// typ parses "int", "long", "boolean", optionally suffixed by "[]".
+func (p *parser) typ() (ast.Type, error) {
+	var base ast.Kind
+	switch p.cur().Kind {
+	case lexer.KwInt:
+		base = ast.KindInt
+	case lexer.KwLong:
+		base = ast.KindLong
+	case lexer.KwBoolean:
+		base = ast.KindBoolean
+	default:
+		return ast.TypeInvalid, p.errorf("expected type, found %s", p.cur().Kind)
+	}
+	p.next()
+	if p.at(lexer.LBracket) && p.peek().Kind == lexer.RBracket {
+		p.next()
+		p.next()
+		return ast.ArrayOf(base), nil
+	}
+	return ast.Type{Kind: base}, nil
+}
+
+func (p *parser) program() (*ast.Program, error) {
+	tok, err := p.expect(lexer.KwClass)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(lexer.Ident)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.LBrace); err != nil {
+		return nil, err
+	}
+	cls := &ast.Class{Pos: tok.Pos, Name: name.Text}
+	for !p.at(lexer.RBrace) {
+		if p.at(lexer.EOF) {
+			return nil, p.errorf("unexpected end of file in class body")
+		}
+		if err := p.member(cls); err != nil {
+			return nil, err
+		}
+	}
+	p.next() // RBrace
+	if !p.at(lexer.EOF) {
+		return nil, p.errorf("unexpected tokens after class body")
+	}
+	return &ast.Program{Class: cls}, nil
+}
+
+// member parses one field or method.
+func (p *parser) member(cls *ast.Class) error {
+	start := p.cur().Pos
+	var ret ast.Type
+	if p.accept(lexer.KwVoid) {
+		ret = ast.TypeVoid
+	} else {
+		t, err := p.typ()
+		if err != nil {
+			return err
+		}
+		ret = t
+	}
+	name, err := p.expect(lexer.Ident)
+	if err != nil {
+		return err
+	}
+	if p.at(lexer.LParen) {
+		m, err := p.methodRest(start, ret, name.Text)
+		if err != nil {
+			return err
+		}
+		cls.Methods = append(cls.Methods, m)
+		return nil
+	}
+	// Field.
+	if ret.Kind == ast.KindVoid {
+		return p.errorf("field %s cannot have type void", name.Text)
+	}
+	f := &ast.Field{Pos: start, Type: ret, Name: name.Text}
+	if p.accept(lexer.Assign) {
+		init, err := p.expr()
+		if err != nil {
+			return err
+		}
+		f.Init = init
+	}
+	if _, err := p.expect(lexer.Semi); err != nil {
+		return err
+	}
+	cls.Fields = append(cls.Fields, f)
+	return nil
+}
+
+func (p *parser) methodRest(pos ast.Pos, ret ast.Type, name string) (*ast.Method, error) {
+	p.next() // LParen
+	m := &ast.Method{Pos: pos, Ret: ret, Name: name}
+	for !p.at(lexer.RParen) {
+		if len(m.Params) > 0 {
+			if _, err := p.expect(lexer.Comma); err != nil {
+				return nil, err
+			}
+		}
+		ppos := p.cur().Pos
+		t, err := p.typ()
+		if err != nil {
+			return nil, err
+		}
+		id, err := p.expect(lexer.Ident)
+		if err != nil {
+			return nil, err
+		}
+		m.Params = append(m.Params, &ast.Param{Pos: ppos, Type: t, Name: id.Text})
+	}
+	p.next() // RParen
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	m.Body = body
+	return m, nil
+}
+
+func (p *parser) block() (*ast.Block, error) {
+	tok, err := p.expect(lexer.LBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &ast.Block{Pos: tok.Pos}
+	for !p.at(lexer.RBrace) {
+		if p.at(lexer.EOF) {
+			return nil, p.errorf("unexpected end of file in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next()
+	return b, nil
+}
+
+func (p *parser) stmt() (ast.Stmt, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case lexer.LBrace:
+		return p.block()
+	case lexer.KwIf:
+		return p.ifStmt()
+	case lexer.KwFor:
+		return p.forStmt()
+	case lexer.KwWhile:
+		return p.whileStmt()
+	case lexer.KwSwitch:
+		return p.switchStmt()
+	case lexer.KwBreak:
+		p.next()
+		if _, err := p.expect(lexer.Semi); err != nil {
+			return nil, err
+		}
+		return &ast.BreakStmt{Pos: tok.Pos}, nil
+	case lexer.KwContinue:
+		p.next()
+		if _, err := p.expect(lexer.Semi); err != nil {
+			return nil, err
+		}
+		return &ast.ContinueStmt{Pos: tok.Pos}, nil
+	case lexer.KwReturn:
+		p.next()
+		s := &ast.ReturnStmt{Pos: tok.Pos}
+		if !p.at(lexer.Semi) {
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Value = v
+		}
+		if _, err := p.expect(lexer.Semi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case lexer.KwPrint:
+		p.next()
+		if _, err := p.expect(lexer.LParen); err != nil {
+			return nil, err
+		}
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.RParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.Semi); err != nil {
+			return nil, err
+		}
+		return &ast.PrintStmt{Pos: tok.Pos, X: x}, nil
+	}
+	if p.isTypeStart() {
+		d, err := p.declNoSemi()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.Semi); err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+	// Expression or assignment statement.
+	s, err := p.simpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.Semi); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// declNoSemi parses "type name [= expr]" without the trailing ';'.
+func (p *parser) declNoSemi() (*ast.DeclStmt, error) {
+	pos := p.cur().Pos
+	t, err := p.typ()
+	if err != nil {
+		return nil, err
+	}
+	id, err := p.expect(lexer.Ident)
+	if err != nil {
+		return nil, err
+	}
+	d := &ast.DeclStmt{Pos: pos, Type: t, Name: id.Text}
+	if p.accept(lexer.Assign) {
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = init
+	}
+	return d, nil
+}
+
+var assignOps = map[lexer.Kind]ast.AssignOp{
+	lexer.Assign:        ast.AsnSet,
+	lexer.PlusAssign:    ast.AsnAdd,
+	lexer.MinusAssign:   ast.AsnSub,
+	lexer.StarAssign:    ast.AsnMul,
+	lexer.SlashAssign:   ast.AsnDiv,
+	lexer.PercentAssign: ast.AsnRem,
+	lexer.AmpAssign:     ast.AsnAnd,
+	lexer.PipeAssign:    ast.AsnOr,
+	lexer.CaretAssign:   ast.AsnXor,
+	lexer.ShlAssign:     ast.AsnShl,
+	lexer.ShrAssign:     ast.AsnShr,
+	lexer.UshrAssign:    ast.AsnUshr,
+}
+
+// simpleStmt parses an assignment, ++/--, or call expression statement
+// (without the trailing ';'). Used in statement position and for-loop
+// clauses.
+func (p *parser) simpleStmt() (ast.Stmt, error) {
+	pos := p.cur().Pos
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := assignOps[p.cur().Kind]; ok {
+		if !isLValue(x) {
+			return nil, p.errorf("cannot assign to %s", ast.PrintExpr(x))
+		}
+		p.next()
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.AssignStmt{Pos: pos, Target: x, Op: op, Value: v}, nil
+	}
+	if p.at(lexer.PlusPlus) || p.at(lexer.MinusMinus) {
+		if !isLValue(x) {
+			return nil, p.errorf("cannot increment %s", ast.PrintExpr(x))
+		}
+		op := ast.AsnAdd
+		if p.cur().Kind == lexer.MinusMinus {
+			op = ast.AsnSub
+		}
+		p.next()
+		one := &ast.IntLit{Pos: pos, Value: 1}
+		return &ast.AssignStmt{Pos: pos, Target: x, Op: op, Value: one}, nil
+	}
+	if _, ok := x.(*ast.CallExpr); !ok {
+		return nil, p.errorf("expression statement must be a call")
+	}
+	return &ast.ExprStmt{Pos: pos, X: x}, nil
+}
+
+func isLValue(e ast.Expr) bool {
+	switch e.(type) {
+	case *ast.Ident, *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+func (p *parser) ifStmt() (ast.Stmt, error) {
+	tok := p.next() // if
+	if _, err := p.expect(lexer.LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.RParen); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s := &ast.IfStmt{Pos: tok.Pos, Cond: cond, Then: then}
+	if p.accept(lexer.KwElse) {
+		if p.at(lexer.KwIf) {
+			els, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		} else {
+			els, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) forStmt() (ast.Stmt, error) {
+	tok := p.next() // for
+	if _, err := p.expect(lexer.LParen); err != nil {
+		return nil, err
+	}
+	s := &ast.ForStmt{Pos: tok.Pos}
+	if !p.at(lexer.Semi) {
+		if p.isTypeStart() {
+			d, err := p.declNoSemi()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = d
+		} else {
+			init, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = init
+		}
+	}
+	if _, err := p.expect(lexer.Semi); err != nil {
+		return nil, err
+	}
+	if !p.at(lexer.Semi) {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+	}
+	if _, err := p.expect(lexer.Semi); err != nil {
+		return nil, err
+	}
+	if !p.at(lexer.RParen) {
+		post, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := post.(*ast.AssignStmt); !ok {
+			return nil, p.errorf("for-post must be an assignment or ++/--")
+		}
+		s.Post = post
+	}
+	if _, err := p.expect(lexer.RParen); err != nil {
+		return nil, err
+	}
+	// Allow "for (...);" — an empty body, as in Figure 2 line 9.
+	if p.accept(lexer.Semi) {
+		s.Body = &ast.Block{Pos: tok.Pos}
+		return s, nil
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+func (p *parser) whileStmt() (ast.Stmt, error) {
+	tok := p.next() // while
+	if _, err := p.expect(lexer.LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.WhileStmt{Pos: tok.Pos, Cond: cond, Body: body}, nil
+}
+
+func (p *parser) switchStmt() (ast.Stmt, error) {
+	tok := p.next() // switch
+	if _, err := p.expect(lexer.LParen); err != nil {
+		return nil, err
+	}
+	tag, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.RParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.LBrace); err != nil {
+		return nil, err
+	}
+	s := &ast.SwitchStmt{Pos: tok.Pos, Tag: tag}
+	sawDefault := false
+	for !p.at(lexer.RBrace) {
+		cpos := p.cur().Pos
+		// A label run is a sequence of "case N:" and "default:" labels
+		// before a body. Consecutive case labels merge into one arm;
+		// a default label forms its own arm. All arms of the run but
+		// the last are empty and fall through, preserving Java
+		// semantics for shapes like "case 1: default: body".
+		var groups []*ast.SwitchCase
+		for p.at(lexer.KwCase) || p.at(lexer.KwDefault) {
+			if p.accept(lexer.KwDefault) {
+				if sawDefault {
+					return nil, p.errorf("duplicate default case")
+				}
+				sawDefault = true
+				groups = append(groups, &ast.SwitchCase{Pos: cpos})
+			} else {
+				p.next() // case
+				neg := p.accept(lexer.Minus)
+				lit, err := p.expect(lexer.IntLit)
+				if err != nil {
+					return nil, err
+				}
+				v := lit.Int
+				if neg {
+					v = int64(int32(-v))
+				}
+				last := len(groups) - 1
+				if last >= 0 && groups[last].Values != nil {
+					groups[last].Values = append(groups[last].Values, v)
+				} else {
+					groups = append(groups, &ast.SwitchCase{Pos: cpos, Values: []int64{v}})
+				}
+			}
+			if _, err := p.expect(lexer.Colon); err != nil {
+				return nil, err
+			}
+		}
+		if len(groups) == 0 {
+			return nil, p.errorf("expected 'case' or 'default', found %s", p.cur().Kind)
+		}
+		var body []ast.Stmt
+		for !p.at(lexer.KwCase) && !p.at(lexer.KwDefault) && !p.at(lexer.RBrace) {
+			bs, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			body = append(body, bs)
+		}
+		groups[len(groups)-1].Body = body
+		s.Cases = append(s.Cases, groups...)
+	}
+	p.next() // RBrace
+	return s, nil
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (precedence climbing)
+// ---------------------------------------------------------------------------
+
+func (p *parser) expr() (ast.Expr, error) { return p.ternary() }
+
+func (p *parser) ternary() (ast.Expr, error) {
+	cond, err := p.binary(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(lexer.Question) {
+		return cond, nil
+	}
+	pos := p.next().Pos
+	then, err := p.ternary()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.Colon); err != nil {
+		return nil, err
+	}
+	els, err := p.ternary()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.CondExpr{Pos: pos, Cond: cond, Then: then, Else: els}, nil
+}
+
+type binLevel struct {
+	toks map[lexer.Kind]ast.BinOp
+}
+
+// binLevels lists binary operator precedence levels from lowest to
+// highest, mirroring Java.
+var binLevels = []binLevel{
+	{map[lexer.Kind]ast.BinOp{lexer.OrOr: ast.OpLOr}},
+	{map[lexer.Kind]ast.BinOp{lexer.AndAnd: ast.OpLAnd}},
+	{map[lexer.Kind]ast.BinOp{lexer.Pipe: ast.OpOr}},
+	{map[lexer.Kind]ast.BinOp{lexer.Caret: ast.OpXor}},
+	{map[lexer.Kind]ast.BinOp{lexer.Amp: ast.OpAnd}},
+	{map[lexer.Kind]ast.BinOp{lexer.EqEq: ast.OpEq, lexer.NotEq: ast.OpNe}},
+	{map[lexer.Kind]ast.BinOp{lexer.Lt: ast.OpLt, lexer.Le: ast.OpLe, lexer.Gt: ast.OpGt, lexer.Ge: ast.OpGe}},
+	{map[lexer.Kind]ast.BinOp{lexer.Shl: ast.OpShl, lexer.Shr: ast.OpShr, lexer.Ushr: ast.OpUshr}},
+	{map[lexer.Kind]ast.BinOp{lexer.Plus: ast.OpAdd, lexer.Minus: ast.OpSub}},
+	{map[lexer.Kind]ast.BinOp{lexer.Star: ast.OpMul, lexer.Slash: ast.OpDiv, lexer.Percent: ast.OpRem}},
+}
+
+func (p *parser) binary(level int) (ast.Expr, error) {
+	if level >= len(binLevels) {
+		return p.unary()
+	}
+	x, err := p.binary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, ok := binLevels[level].toks[p.cur().Kind]
+		if !ok {
+			return x, nil
+		}
+		pos := p.next().Pos
+		y, err := p.binary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		x = &ast.BinaryExpr{Pos: pos, Op: op, X: x, Y: y}
+	}
+}
+
+func (p *parser) unary() (ast.Expr, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case lexer.Minus:
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{Pos: tok.Pos, Op: ast.OpNeg, X: x}, nil
+	case lexer.Bang:
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{Pos: tok.Pos, Op: ast.OpNot, X: x}, nil
+	case lexer.Tilde:
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{Pos: tok.Pos, Op: ast.OpBitNot, X: x}, nil
+	case lexer.LParen:
+		// Could be a cast "(int)x" / "(long)x" or a parenthesized
+		// expression.
+		if k := p.peek().Kind; k == lexer.KwInt || k == lexer.KwLong {
+			// Only a cast if followed by ')': "(int)".
+			if p.i+2 < len(p.toks) && p.toks[p.i+2].Kind == lexer.RParen {
+				p.next() // (
+				to := ast.TypeInt
+				if k == lexer.KwLong {
+					to = ast.TypeLong
+				}
+				p.next() // type
+				p.next() // )
+				x, err := p.unary()
+				if err != nil {
+					return nil, err
+				}
+				return &ast.CastExpr{Pos: tok.Pos, To: to, X: x}, nil
+			}
+		}
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (ast.Expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case lexer.LBracket:
+			pos := p.next().Pos
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(lexer.RBracket); err != nil {
+				return nil, err
+			}
+			x = &ast.IndexExpr{Pos: pos, Arr: x, Index: idx}
+		case lexer.Dot:
+			pos := p.next().Pos
+			if _, err := p.expect(lexer.KwLength); err != nil {
+				return nil, err
+			}
+			x = &ast.LenExpr{Pos: pos, Arr: x}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) primary() (ast.Expr, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case lexer.IntLit:
+		p.next()
+		return &ast.IntLit{Pos: tok.Pos, Value: tok.Int}, nil
+	case lexer.LongLit:
+		p.next()
+		return &ast.IntLit{Pos: tok.Pos, Value: tok.Int, IsLong: true}, nil
+	case lexer.KwTrue:
+		p.next()
+		return &ast.BoolLit{Pos: tok.Pos, Value: true}, nil
+	case lexer.KwFalse:
+		p.next()
+		return &ast.BoolLit{Pos: tok.Pos, Value: false}, nil
+	case lexer.Ident:
+		p.next()
+		if p.at(lexer.LParen) {
+			p.next()
+			call := &ast.CallExpr{Pos: tok.Pos, Name: tok.Text}
+			for !p.at(lexer.RParen) {
+				if len(call.Args) > 0 {
+					if _, err := p.expect(lexer.Comma); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+			}
+			p.next()
+			return call, nil
+		}
+		return &ast.Ident{Pos: tok.Pos, Name: tok.Text}, nil
+	case lexer.KwNew:
+		p.next()
+		var elem ast.Kind
+		switch p.cur().Kind {
+		case lexer.KwInt:
+			elem = ast.KindInt
+		case lexer.KwLong:
+			elem = ast.KindLong
+		case lexer.KwBoolean:
+			elem = ast.KindBoolean
+		default:
+			return nil, p.errorf("expected element type after 'new'")
+		}
+		p.next()
+		if _, err := p.expect(lexer.LBracket); err != nil {
+			return nil, err
+		}
+		if p.accept(lexer.RBracket) {
+			// new int[]{...}
+			if _, err := p.expect(lexer.LBrace); err != nil {
+				return nil, err
+			}
+			e := &ast.NewArrayExpr{Pos: tok.Pos, Elem: elem, Elems: []ast.Expr{}}
+			for !p.at(lexer.RBrace) {
+				if len(e.Elems) > 0 {
+					if _, err := p.expect(lexer.Comma); err != nil {
+						return nil, err
+					}
+				}
+				el, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				e.Elems = append(e.Elems, el)
+			}
+			p.next()
+			return e, nil
+		}
+		n, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.RBracket); err != nil {
+			return nil, err
+		}
+		return &ast.NewArrayExpr{Pos: tok.Pos, Elem: elem, Len: n}, nil
+	case lexer.LParen:
+		p.next()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.RParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, p.errorf("unexpected %s in expression", tok.Kind)
+}

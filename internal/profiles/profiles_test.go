@@ -1,0 +1,93 @@
+package profiles
+
+import (
+	"testing"
+
+	"artemis/internal/bytecode"
+	"artemis/internal/lang/parser"
+	"artemis/internal/lang/sem"
+	"artemis/internal/vm"
+)
+
+func TestGetAndAll(t *testing.T) {
+	if len(All()) != 3 {
+		t.Fatalf("profiles = %d, want 3", len(All()))
+	}
+	for _, name := range []string{"hotspotlike", "openj9like", "artlike"} {
+		p, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name != name {
+			t.Errorf("Get(%q).Name = %q", name, p.Name)
+		}
+		if len(p.EntryThresholds) != p.MaxTier || len(p.OSRThresholds) != p.MaxTier {
+			t.Errorf("%s: threshold count mismatch with MaxTier %d", name, p.MaxTier)
+		}
+	}
+	if _, err := Get("v8like"); err == nil {
+		t.Error("unknown profile should error")
+	}
+}
+
+// TestSynthesizedHeatCrossesThresholds: the JoNM loop bounds of each
+// profile must guarantee enough iterations to cross at least the
+// tier-1 thresholds (otherwise mutation could never open the
+// compilation space).
+func TestSynthesizedHeatCrossesThresholds(t *testing.T) {
+	for _, p := range All() {
+		minIters := (p.SynMax - p.SynMin) / p.SynStepMax
+		if minIters < p.OSRThresholds[0] {
+			t.Errorf("%s: worst-case synthesized iterations %d < OSR threshold %d",
+				p.Name, minIters, p.OSRThresholds[0])
+		}
+		if minIters < p.EntryThresholds[0] {
+			t.Errorf("%s: worst-case pre-invocations %d < entry threshold %d",
+				p.Name, minIters, p.EntryThresholds[0])
+		}
+	}
+}
+
+func TestVMConfigsRun(t *testing.T) {
+	prog, err := parser.Parse(`class T {
+        int work(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) { s += i * i; }
+            return s;
+        }
+        void main() {
+            long total = 0;
+            for (int r = 0; r < 2000; r++) { total += work(40); }
+            print(total);
+        }
+    }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := bytecode.MustCompile(sem.MustAnalyze(prog))
+
+	ref := vm.Run(vm.Config{}, bp).Output
+	for _, p := range All() {
+		correct := vm.Run(p.VMConfig(false), bp)
+		if !correct.Output.Equivalent(ref) {
+			t.Errorf("%s (correct): output differs from interpreter", p.Name)
+		}
+		if correct.Compilations == 0 {
+			t.Errorf("%s: hot workload never compiled (thresholds too high?)", p.Name)
+		}
+		// The buggy VM may crash or mis-compile but must not hang.
+		buggy := vm.Run(p.VMConfig(true), bp)
+		if buggy.Output.Term == vm.TermTimeout {
+			t.Errorf("%s (buggy): unexpected timeout", p.Name)
+		}
+	}
+}
+
+func TestBugSetsMatchJVM(t *testing.T) {
+	for _, p := range All() {
+		set := p.BugSet()
+		if len(set) == 0 {
+			t.Errorf("%s: empty bug set", p.Name)
+		}
+	}
+}

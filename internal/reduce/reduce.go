@@ -1,0 +1,263 @@
+// Package reduce shrinks bug-triggering MJ programs while preserving
+// a caller-defined "interestingness" predicate — the role Perses and
+// C-Reduce play in the paper's workflow (Section 4.1): JavaFuzzer
+// seeds are large, so every reported bug is first reduced to a small
+// reproducer.
+//
+// The reducer is syntax-guided delta debugging on the AST: candidate
+// transformations (drop a statement, unwrap a loop or conditional,
+// inline a block, simplify an initializer) are attempted greedily and
+// kept whenever the program stays valid and the predicate still
+// holds. Like C-Reduce, transformations need not preserve semantics —
+// only the predicate matters.
+package reduce
+
+import (
+	"artemis/internal/lang/ast"
+	"artemis/internal/lang/sem"
+)
+
+// Predicate reports whether a candidate program is still interesting
+// (e.g. still triggers the discrepancy). It must be deterministic.
+type Predicate func(*ast.Program) bool
+
+// Options tunes reduction.
+type Options struct {
+	// MaxRounds bounds full fixpoint rounds (default 20).
+	MaxRounds int
+}
+
+// Reduce returns the smallest program found that satisfies keep.
+// The input is not modified. Reduce assumes keep(p) is true.
+func Reduce(p *ast.Program, keep Predicate, opts Options) *ast.Program {
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = 20
+	}
+	cur := ast.CloneProgram(p)
+	for round := 0; round < opts.MaxRounds; round++ {
+		changed := false
+		if tryEach(cur, keep, removeMethodCandidates) {
+			changed = true
+		}
+		if tryEach(cur, keep, removeFieldCandidates) {
+			changed = true
+		}
+		if reduceStatements(cur, keep) {
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+	return cur
+}
+
+// valid reports whether the candidate still type-checks; reductions
+// that break validity are discarded before consulting the predicate.
+func valid(p *ast.Program) bool {
+	_, err := sem.Analyze(p)
+	return err == nil
+}
+
+// candidate is one attempted transformation: apply edits cur in place
+// and returns an undo function.
+type candidate struct {
+	apply func() func()
+}
+
+// tryEach applies each candidate greedily, keeping those that preserve
+// validity and interestingness.
+func tryEach(cur *ast.Program, keep Predicate, gen func(*ast.Program) []candidate) bool {
+	any := false
+	for {
+		applied := false
+		for _, c := range gen(cur) {
+			undo := c.apply()
+			if valid(cur) && keep(cur) {
+				applied = true
+				any = true
+				break // regenerate candidates: positions shifted
+			}
+			undo()
+		}
+		if !applied {
+			return any
+		}
+	}
+}
+
+// removeMethodCandidates proposes dropping whole methods (main stays).
+func removeMethodCandidates(p *ast.Program) []candidate {
+	var out []candidate
+	cls := p.Class
+	for i := range cls.Methods {
+		i := i
+		if cls.Methods[i].Name == "main" {
+			continue
+		}
+		out = append(out, candidate{apply: func() func() {
+			saved := append([]*ast.Method(nil), cls.Methods...)
+			cls.Methods = append(append([]*ast.Method(nil), cls.Methods[:i]...), cls.Methods[i+1:]...)
+			return func() { cls.Methods = saved }
+		}})
+	}
+	return out
+}
+
+// removeFieldCandidates proposes dropping fields.
+func removeFieldCandidates(p *ast.Program) []candidate {
+	var out []candidate
+	cls := p.Class
+	for i := range cls.Fields {
+		i := i
+		out = append(out, candidate{apply: func() func() {
+			saved := append([]*ast.Field(nil), cls.Fields...)
+			cls.Fields = append(append([]*ast.Field(nil), cls.Fields[:i]...), cls.Fields[i+1:]...)
+			return func() { cls.Fields = saved }
+		}})
+	}
+	return out
+}
+
+// reduceStatements walks every statement list in the program and
+// tries, in order: dropping a statement, replacing a compound
+// statement by one of its sub-blocks' contents.
+func reduceStatements(p *ast.Program, keep Predicate) bool {
+	any := false
+	for {
+		applied := false
+		for _, m := range p.Class.Methods {
+			lists := collectLists(m)
+			for _, lst := range lists {
+				if tryListEdits(p, keep, lst) {
+					applied = true
+					any = true
+					break
+				}
+			}
+			if applied {
+				break
+			}
+		}
+		if !applied {
+			return any
+		}
+	}
+}
+
+// collectLists returns pointers to every statement list in the method.
+func collectLists(m *ast.Method) []*[]ast.Stmt {
+	var lists []*[]ast.Stmt
+	var visit func(s ast.Stmt)
+	visitBlock := func(b *ast.Block) {
+		if b == nil {
+			return
+		}
+		lists = append(lists, &b.Stmts)
+	}
+	visit = func(s ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.Block:
+			visitBlock(s)
+			for _, bs := range s.Stmts {
+				visit(bs)
+			}
+		case *ast.IfStmt:
+			visitBlock(s.Then)
+			for _, bs := range s.Then.Stmts {
+				visit(bs)
+			}
+			if s.Else != nil {
+				visit(s.Else)
+			}
+		case *ast.ForStmt:
+			visitBlock(s.Body)
+			for _, bs := range s.Body.Stmts {
+				visit(bs)
+			}
+		case *ast.WhileStmt:
+			visitBlock(s.Body)
+			for _, bs := range s.Body.Stmts {
+				visit(bs)
+			}
+		case *ast.SwitchStmt:
+			for _, c := range s.Cases {
+				c := c
+				lists = append(lists, &c.Body)
+				for _, bs := range c.Body {
+					visit(bs)
+				}
+			}
+		}
+	}
+	lists = append(lists, &m.Body.Stmts)
+	for _, s := range m.Body.Stmts {
+		visit(s)
+	}
+	return lists
+}
+
+// tryListEdits attempts edits on one statement list: chunked removal
+// (ddmin-flavoured: halves, then quarters, then singles) and compound
+// unwrapping.
+func tryListEdits(p *ast.Program, keep Predicate, lst *[]ast.Stmt) bool {
+	n := len(*lst)
+	if n == 0 {
+		return false
+	}
+	ok := func() bool { return valid(p) && keep(p) }
+
+	// Chunked removal.
+	for size := n; size >= 1; size /= 2 {
+		for start := 0; start+size <= len(*lst); start++ {
+			saved := append([]ast.Stmt(nil), *lst...)
+			*lst = append(append([]ast.Stmt(nil), saved[:start]...), saved[start+size:]...)
+			if ok() {
+				return true
+			}
+			*lst = saved
+		}
+		if size == 1 {
+			break
+		}
+	}
+
+	// Unwrap compounds: if -> then-branch stmts; loops -> body once;
+	// switch -> a single arm's body.
+	for i, s := range *lst {
+		var replacements [][]ast.Stmt
+		switch s := s.(type) {
+		case *ast.IfStmt:
+			replacements = append(replacements, s.Then.Stmts)
+			if e, okElse := s.Else.(*ast.Block); okElse {
+				replacements = append(replacements, e.Stmts)
+			}
+		case *ast.ForStmt:
+			replacements = append(replacements, s.Body.Stmts)
+		case *ast.WhileStmt:
+			replacements = append(replacements, s.Body.Stmts)
+		case *ast.SwitchStmt:
+			for _, c := range s.Cases {
+				replacements = append(replacements, c.Body)
+			}
+		case *ast.Block:
+			replacements = append(replacements, s.Stmts)
+		}
+		for _, repl := range replacements {
+			saved := append([]ast.Stmt(nil), *lst...)
+			next := append([]ast.Stmt(nil), saved[:i]...)
+			// Deep-clone replacement statements: they may alias nodes
+			// reachable from the saved list.
+			for _, rs := range repl {
+				next = append(next, ast.CloneStmt(rs))
+			}
+			next = append(next, saved[i+1:]...)
+			*lst = next
+			if ok() {
+				return true
+			}
+			*lst = saved
+		}
+	}
+	return false
+}

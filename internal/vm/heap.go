@@ -1,0 +1,174 @@
+package vm
+
+import (
+	"fmt"
+
+	"artemis/internal/lang/ast"
+)
+
+// Array is one heap-allocated array object. Data carries one extra
+// trailing canary word that the GC verifies during sweep; a JIT bug
+// that emits an out-of-bounds store corrupts the canary and surfaces
+// as a crash inside the garbage collector — the failure mode the paper
+// reports as dominant for OpenJ9 (Table 2).
+type Array struct {
+	Elem   ast.Kind
+	Data   []int64 // length Len+1; Data[Len] is the canary
+	marked bool
+}
+
+// Len returns the program-visible array length.
+func (a *Array) Len() int64 { return int64(len(a.Data) - 1) }
+
+func canaryFor(handle int64) int64 { return 0x5ca1ab1e ^ handle }
+
+// Heap is a non-moving mark-sweep heap of arrays. Handles are opaque
+// positive int64 values (index+1) and are never compacted, so the
+// conservative root scan used for compiled frames is safe.
+type Heap struct {
+	objects    []*Array
+	free       []int
+	limitWords int64
+	usedWords  int64
+	allocs     int64 // allocations since last GC
+
+	// gcStats
+	Collections int64
+	Freed       int64
+}
+
+// NewHeap returns a heap limited to limitWords payload words
+// (1 word = 8 bytes; the paper's setup uses a 1 GiB Java heap, the
+// default here is far smaller since test programs are tiny).
+func NewHeap(limitWords int64) *Heap {
+	return &Heap{limitWords: limitWords}
+}
+
+// Used returns the payload words currently allocated.
+func (h *Heap) Used() int64 { return h.usedWords }
+
+// NumObjects returns the number of live (non-freed) slots.
+func (h *Heap) NumObjects() int {
+	n := 0
+	for _, o := range h.objects {
+		if o != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// AllocsSinceGC returns allocations since the last collection.
+func (h *Heap) AllocsSinceGC() int64 { return h.allocs }
+
+// Alloc creates a new array and returns its handle. The caller is
+// responsible for triggering GC / OOM policy; Alloc only tracks
+// accounting.
+func (h *Heap) Alloc(elem ast.Kind, n int64) int64 {
+	a := &Array{Elem: elem, Data: make([]int64, n+1)}
+	var idx int
+	if len(h.free) > 0 {
+		idx = h.free[len(h.free)-1]
+		h.free = h.free[:len(h.free)-1]
+		h.objects[idx] = a
+	} else {
+		idx = len(h.objects)
+		h.objects = append(h.objects, a)
+	}
+	handle := int64(idx + 1)
+	a.Data[n] = canaryFor(handle)
+	h.usedWords += n + 1
+	h.allocs++
+	return handle
+}
+
+// WouldExceed reports whether allocating n more words would exceed the
+// heap limit.
+func (h *Heap) WouldExceed(n int64) bool {
+	return h.usedWords+n+1 > h.limitWords
+}
+
+// Get returns the array for a handle, or nil for invalid/freed handles.
+func (h *Heap) Get(handle int64) *Array {
+	idx := handle - 1
+	if idx < 0 || idx >= int64(len(h.objects)) {
+		return nil
+	}
+	return h.objects[idx]
+}
+
+// IsHandle reports whether v currently names a live object
+// (used by the conservative root scan).
+func (h *Heap) IsHandle(v int64) bool { return h.Get(v) != nil }
+
+// CorruptionError is returned by Collect when heap verification fails;
+// the VM reports it as a crash attributed to the garbage collector.
+type CorruptionError struct {
+	Handle int64
+	Detail string
+}
+
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("GC: heap corruption detected on object %d: %s", e.Handle, e.Detail)
+}
+
+// Collect runs a stop-the-world mark-sweep collection. roots must call
+// the yield function for every potential root value; non-handle values
+// are ignored (conservative scanning). During sweep every live object's
+// canary is verified, modeling the crash-in-GC symptom of heap
+// corruption by miscompiled code.
+func (h *Heap) Collect(roots func(yield func(v int64))) error {
+	for _, o := range h.objects {
+		if o != nil {
+			o.marked = false
+		}
+	}
+	roots(func(v int64) {
+		if a := h.Get(v); a != nil {
+			a.marked = true
+		}
+	})
+	var corrupt *CorruptionError
+	for i, o := range h.objects {
+		if o == nil {
+			continue
+		}
+		handle := int64(i + 1)
+		n := int64(len(o.Data) - 1)
+		if o.Data[n] != canaryFor(handle) {
+			if corrupt == nil {
+				corrupt = &CorruptionError{Handle: handle,
+					Detail: fmt.Sprintf("canary %#x != %#x", o.Data[n], canaryFor(handle))}
+			}
+			continue // keep the object; the VM is about to crash anyway
+		}
+		if !o.marked {
+			h.objects[i] = nil
+			h.free = append(h.free, i)
+			h.usedWords -= n + 1
+			h.Freed++
+		}
+	}
+	h.allocs = 0
+	h.Collections++
+	if corrupt != nil {
+		return corrupt
+	}
+	return nil
+}
+
+// VerifyAll checks every live object's canary without collecting
+// (used by tests).
+func (h *Heap) VerifyAll() error {
+	for i, o := range h.objects {
+		if o == nil {
+			continue
+		}
+		handle := int64(i + 1)
+		n := int64(len(o.Data) - 1)
+		if o.Data[n] != canaryFor(handle) {
+			return &CorruptionError{Handle: handle, Detail: "canary mismatch"}
+		}
+	}
+	return nil
+}

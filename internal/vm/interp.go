@@ -1,0 +1,339 @@
+package vm
+
+import (
+	"fmt"
+
+	"artemis/internal/bytecode"
+	"artemis/internal/lang/ast"
+)
+
+// interpLoop interprets method st.Index starting at pc with the given
+// frame state (locals and operand stack — non-zero pc and stack occur
+// when resuming after a deoptimization). It updates profiling data when
+// profiled is true, drives back-edge counters, and performs OSR when
+// the policy asks for it.
+func (vm *VM) interpLoop(st *MethodState, pc int, locals, stack []int64, tv *TempVector, profiled bool) (int64, *Unwind) {
+	m := vm.prog.Methods[st.Index]
+	code := m.Code
+	if stack == nil {
+		stack = make([]int64, 0, m.MaxStack)
+	}
+
+	unregister := vm.RegisterRoots(func(yield func(int64)) {
+		for _, v := range locals {
+			yield(v)
+		}
+		for _, v := range stack {
+			yield(v)
+		}
+	})
+	defer unregister()
+
+	pop := func() int64 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v
+	}
+	push := func(v int64) { stack = append(stack, v) }
+
+	for {
+		vm.steps++
+		if vm.steps > vm.stepLimit {
+			return 0, vm.timeoutUnwind()
+		}
+		in := code[pc]
+		switch in.Op {
+		case bytecode.OpNop:
+			pc++
+		case bytecode.OpConst:
+			push(in.A)
+			pc++
+		case bytecode.OpLoad:
+			push(locals[in.A])
+			pc++
+		case bytecode.OpStore:
+			locals[in.A] = pop()
+			pc++
+		case bytecode.OpPop:
+			pop()
+			pc++
+		case bytecode.OpDup:
+			push(stack[len(stack)-1])
+			pc++
+		case bytecode.OpDup2:
+			a, b := stack[len(stack)-2], stack[len(stack)-1]
+			push(a)
+			push(b)
+			pc++
+		case bytecode.OpGetField:
+			push(vm.fields[in.A])
+			pc++
+		case bytecode.OpPutField:
+			vm.fields[in.A] = pop()
+			pc++
+		case bytecode.OpNewArr:
+			n := pop()
+			h, err := vm.NewArray(in.Kind, int64(int32(n)))
+			if err != nil {
+				return 0, vm.throw(st, err)
+			}
+			push(h)
+			pc++
+		case bytecode.OpALoad:
+			idx := pop()
+			ref := pop()
+			v, err := vm.ArrayLoad(ref, int64(int32(idx)))
+			if err != nil {
+				return 0, vm.throw(st, err)
+			}
+			push(v)
+			pc++
+		case bytecode.OpAStore:
+			val := pop()
+			idx := pop()
+			ref := pop()
+			if err := vm.ArrayStore(ref, int64(int32(idx)), val); err != nil {
+				return 0, vm.throw(st, err)
+			}
+			pc++
+		case bytecode.OpArrLen:
+			ref := pop()
+			n, err := vm.ArrayLen(ref)
+			if err != nil {
+				return 0, vm.throw(st, err)
+			}
+			push(n)
+			pc++
+		case bytecode.OpAdd, bytecode.OpSub, bytecode.OpMul, bytecode.OpDiv,
+			bytecode.OpRem, bytecode.OpAnd, bytecode.OpOr, bytecode.OpXor,
+			bytecode.OpShl, bytecode.OpShr, bytecode.OpUshr:
+			b := pop()
+			a := pop()
+			v, err := EvalBinary(in.Op, in.Wide, a, b)
+			if err != nil {
+				return 0, vm.throw(st, err)
+			}
+			push(v)
+			pc++
+		case bytecode.OpNeg:
+			a := pop()
+			if in.Wide {
+				push(-a)
+			} else {
+				push(int64(int32(-a)))
+			}
+			pc++
+		case bytecode.OpBitNot:
+			a := pop()
+			if in.Wide {
+				push(^a)
+			} else {
+				push(int64(int32(^a)))
+			}
+			pc++
+		case bytecode.OpL2I:
+			push(int64(int32(pop())))
+			pc++
+		case bytecode.OpCmpSet:
+			b := pop()
+			a := pop()
+			if in.Cond.Eval(a, b) {
+				push(1)
+			} else {
+				push(0)
+			}
+			pc++
+		case bytecode.OpGoto:
+			pc = int(in.A)
+		case bytecode.OpIfTrue:
+			v := pop()
+			taken := v != 0
+			if profiled {
+				st.Profile.branch(pc, taken)
+			}
+			if taken {
+				pc = int(in.A)
+			} else {
+				pc++
+			}
+		case bytecode.OpIfFalse:
+			v := pop()
+			taken := v == 0
+			if profiled {
+				st.Profile.branch(pc, taken)
+			}
+			if taken {
+				pc = int(in.A)
+			} else {
+				pc++
+			}
+		case bytecode.OpIfCmp:
+			b := pop()
+			a := pop()
+			taken := in.Cond.Eval(a, b)
+			if profiled {
+				st.Profile.branch(pc, taken)
+			}
+			if taken {
+				pc = int(in.A)
+			} else {
+				pc++
+			}
+		case bytecode.OpSwitch:
+			v := pop()
+			t := m.Switches[in.A].Lookup(int64(int32(v)))
+			if profiled {
+				st.Profile.switchHit(pc, t)
+			}
+			pc = t
+		case bytecode.OpLoopBack:
+			head := int(in.A)
+			loopID := vm.loopByHead[st.Index][head]
+			if profiled {
+				st.Counters.Backedge[loopID]++
+				dec := vm.policy.OnBackEdge(st, loopID)
+				if dec.Action == ActCompile {
+					osrCode, uw := vm.ensureOSR(st, loopID, dec.Tier)
+					if uw != nil {
+						return 0, uw
+					}
+					if osrCode != nil {
+						vm.osrEntries++
+						if tv != nil {
+							tv.Temps = append(tv.Temps, osrCode.Tier())
+						}
+						res := osrCode.Run(vm, locals)
+						switch res.Kind {
+						case ExecReturn:
+							return res.Value, nil
+						case ExecUnwind:
+							return 0, res.Unwind
+						case ExecDeopt:
+							return vm.handleDeopt(st, res.Deopt, tv)
+						}
+					}
+				}
+			}
+			pc = head
+		case bytecode.OpCall:
+			callee := vm.prog.Methods[in.A]
+			n := callee.NParams
+			args := make([]int64, n)
+			copy(args, stack[len(stack)-n:])
+			stack = stack[:len(stack)-n]
+			ret, uw := vm.CallMethod(int(in.A), args)
+			if uw != nil {
+				return 0, uw
+			}
+			if callee.Ret.Kind != ast.KindVoid {
+				push(ret)
+			}
+			pc++
+		case bytecode.OpRet:
+			return 0, nil
+		case bytecode.OpRetV:
+			return pop(), nil
+		case bytecode.OpPrint:
+			vm.Print(in.Kind, pop())
+			pc++
+		default:
+			panic(fmt.Sprintf("vm: unknown opcode %v at pc %d in %s", in.Op, pc, m.Name))
+		}
+	}
+}
+
+// throw decorates a program-level error with the method name so the
+// observable message is informative yet deterministic across tiers.
+func (vm *VM) throw(st *MethodState, err *RuntimeError) *Unwind {
+	if err.Kind == trapTimeout {
+		return vm.timeoutUnwind()
+	}
+	e := *err
+	e.Msg = e.Msg + " (in " + st.Name + ")"
+	return &Unwind{Err: &e}
+}
+
+// EvalBinary applies a binary arithmetic/bitwise bytecode operator with
+// Java semantics: 32-bit wrapping when !wide, 64-bit when wide, masked
+// shift counts, and ArithmeticException on division by zero. It is
+// exported because the interpreter, the JIT constant folder, and the
+// machine executor must share exactly one definition of arithmetic.
+func EvalBinary(op bytecode.Op, wide bool, a, b int64) (int64, *RuntimeError) {
+	if wide {
+		switch op {
+		case bytecode.OpAdd:
+			return a + b, nil
+		case bytecode.OpSub:
+			return a - b, nil
+		case bytecode.OpMul:
+			return a * b, nil
+		case bytecode.OpDiv:
+			if b == 0 {
+				return 0, &RuntimeError{Kind: TrapDivByZero, Msg: "/ by zero"}
+			}
+			if a == -1<<63 && b == -1 {
+				return a, nil // Java wraps; Go would panic
+			}
+			return a / b, nil
+		case bytecode.OpRem:
+			if b == 0 {
+				return 0, &RuntimeError{Kind: TrapDivByZero, Msg: "/ by zero"}
+			}
+			if a == -1<<63 && b == -1 {
+				return 0, nil
+			}
+			return a % b, nil
+		case bytecode.OpAnd:
+			return a & b, nil
+		case bytecode.OpOr:
+			return a | b, nil
+		case bytecode.OpXor:
+			return a ^ b, nil
+		case bytecode.OpShl:
+			return a << (uint64(b) & 63), nil
+		case bytecode.OpShr:
+			return a >> (uint64(b) & 63), nil
+		case bytecode.OpUshr:
+			return int64(uint64(a) >> (uint64(b) & 63)), nil
+		}
+	} else {
+		x, y := int32(a), int32(b)
+		switch op {
+		case bytecode.OpAdd:
+			return int64(x + y), nil
+		case bytecode.OpSub:
+			return int64(x - y), nil
+		case bytecode.OpMul:
+			return int64(x * y), nil
+		case bytecode.OpDiv:
+			if y == 0 {
+				return 0, &RuntimeError{Kind: TrapDivByZero, Msg: "/ by zero"}
+			}
+			if x == -1<<31 && y == -1 {
+				return int64(x), nil
+			}
+			return int64(x / y), nil
+		case bytecode.OpRem:
+			if y == 0 {
+				return 0, &RuntimeError{Kind: TrapDivByZero, Msg: "/ by zero"}
+			}
+			if x == -1<<31 && y == -1 {
+				return 0, nil
+			}
+			return int64(x % y), nil
+		case bytecode.OpAnd:
+			return int64(x & y), nil
+		case bytecode.OpOr:
+			return int64(x | y), nil
+		case bytecode.OpXor:
+			return int64(x ^ y), nil
+		case bytecode.OpShl:
+			return int64(x << (uint32(y) & 31)), nil
+		case bytecode.OpShr:
+			return int64(x >> (uint32(y) & 31)), nil
+		case bytecode.OpUshr:
+			return int64(int32(uint32(x) >> (uint32(y) & 31))), nil
+		}
+	}
+	panic(fmt.Sprintf("vm: EvalBinary of non-arithmetic op %v", op))
+}

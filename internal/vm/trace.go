@@ -1,0 +1,92 @@
+package vm
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// TempVector is the temperature vector u_m^i of Definition 3.2: the
+// sequence of temperatures method m passed through during its i-th
+// call. ⟨t0⟩ means fully interpreted; ⟨t0,t2⟩ means OSR-compiled at
+// level 2 mid-call; ⟨t2,t0⟩ means a deoptimization, and so on.
+type TempVector struct {
+	Method    string
+	CallIndex int64
+	Temps     []int
+}
+
+func (v TempVector) String() string {
+	parts := make([]string, len(v.Temps))
+	for i, t := range v.Temps {
+		parts[i] = fmt.Sprintf("t%d", t)
+	}
+	return fmt.Sprintf("⟨%s⟩%d_%s", strings.Join(parts, ","), v.CallIndex, v.Method)
+}
+
+// JITTrace is a JIT compilation trace (Definition 3.3): the sequence
+// of temperature vectors of all method calls in one program run. Two
+// runs of the same program with different JIT traces form a
+// compilation-space test pair.
+type JITTrace struct {
+	Vectors []TempVector
+	NTotal  int // total calls (Vectors is capped)
+	maxKeep int
+	hash    uint64
+}
+
+func newJITTrace(maxKeep int) *JITTrace {
+	return &JITTrace{maxKeep: maxKeep, hash: fnv.New64a().Sum64()}
+}
+
+func (t *JITTrace) add(v TempVector) {
+	if len(t.Vectors) < t.maxKeep {
+		t.Vectors = append(t.Vectors, v)
+	}
+	t.NTotal++
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(t.hash >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(v.Method))
+	for _, tm := range v.Temps {
+		h.Write([]byte{byte(tm)})
+	}
+	t.hash = h.Sum64()
+}
+
+// Hash digests the whole trace; two runs took the same JIT trace iff
+// the hashes (and NTotal) match.
+func (t *JITTrace) Hash() uint64 { return t.hash }
+
+// Key returns a comparable summary.
+func (t *JITTrace) Key() string { return fmt.Sprintf("%d|%016x", t.NTotal, t.hash) }
+
+// String renders the (possibly truncated) trace.
+func (t *JITTrace) String() string {
+	parts := make([]string, 0, len(t.Vectors))
+	for _, v := range t.Vectors {
+		parts = append(parts, v.String())
+	}
+	s := strings.Join(parts, " → ")
+	if t.NTotal > len(t.Vectors) {
+		s += fmt.Sprintf(" … (%d more)", t.NTotal-len(t.Vectors))
+	}
+	return s
+}
+
+// MaxTemp returns the hottest temperature observed anywhere in the
+// trace (0 = the run never left the interpreter).
+func (t *JITTrace) MaxTemp() int {
+	m := 0
+	for _, v := range t.Vectors {
+		for _, tm := range v.Temps {
+			if tm > m {
+				m = tm
+			}
+		}
+	}
+	return m
+}

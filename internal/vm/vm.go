@@ -1,0 +1,598 @@
+package vm
+
+import (
+	"fmt"
+
+	"artemis/internal/bytecode"
+	"artemis/internal/lang/ast"
+)
+
+// Config parameterizes a VM instance. Profiles (internal/profiles)
+// provide ready-made configs that mimic HotSpot-, OpenJ9-, and
+// ART-like tier setups.
+type Config struct {
+	// Name identifies the configuration in reports ("hotspotlike"...).
+	Name string
+
+	// EntryThresholds are the method-counter compilation thresholds
+	// Z_1..Z_N (Definition 3.1). Empty means interpret-only.
+	EntryThresholds []int64
+	// OSRThresholds are back-edge thresholds per tier (same length as
+	// EntryThresholds).
+	OSRThresholds []int64
+
+	// JIT is the compiler back end; nil disables compilation.
+	JIT JITCompiler
+	// Policy overrides the default counter policy when non-nil.
+	Policy Policy
+
+	// HeapWords bounds the array heap payload (default 1<<20 words).
+	HeapWords int64
+	// GCInterval collects every this many allocations (default 256).
+	GCInterval int64
+	// StepLimit bounds abstract execution steps (default 200M),
+	// standing in for the paper's 2-minute wall-clock cutoff.
+	StepLimit int64
+	// MaxDepth bounds the call stack (default 400).
+	MaxDepth int
+
+	// RecordTrace enables JIT-trace (temperature vector) recording.
+	RecordTrace bool
+	// TraceLimit caps recorded vectors (default 4096).
+	TraceLimit int
+	// MaxOutputLines caps retained print lines (default 256); the
+	// rolling hash always covers everything.
+	MaxOutputLines int
+
+	// Speculate lets the optimizing tier use profile-guided
+	// speculation with uncommon traps (default true when JIT != nil;
+	// set via NoSpeculation).
+	NoSpeculation bool
+	// DeoptLimit disables speculation for a method after this many
+	// deopts (default 4).
+	DeoptLimit int
+}
+
+func (c Config) withDefaults() Config {
+	if c.HeapWords == 0 {
+		c.HeapWords = 1 << 20
+	}
+	if c.GCInterval == 0 {
+		c.GCInterval = 256
+	}
+	if c.StepLimit == 0 {
+		c.StepLimit = 200_000_000
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 400
+	}
+	if c.TraceLimit == 0 {
+		c.TraceLimit = 4096
+	}
+	if c.MaxOutputLines == 0 {
+		c.MaxOutputLines = 256
+	}
+	if c.DeoptLimit == 0 {
+		c.DeoptLimit = 4
+	}
+	return c
+}
+
+// MethodState is the VM's per-method runtime state: counters,
+// profiling data, and compiled code caches.
+type MethodState struct {
+	Name     string
+	Index    int
+	Counters Counters
+	Profile  *MethodProfile
+
+	compiled    map[int]CompiledCode // tier -> regular entry
+	osr         map[int]CompiledCode // loopID -> OSR entry (best tier)
+	osrTiers    map[int]int          // loopID -> tier of cached OSR code
+	failedTiers map[int]bool         // tiers that failed to compile (non-crash)
+
+	DeoptCount   int
+	Compilations int64
+	specDisabled bool
+}
+
+// HighestTier returns the highest tier with cached compiled code
+// (0 = none).
+func (st *MethodState) HighestTier() int {
+	best := 0
+	for t := range st.compiled {
+		if t > best {
+			best = t
+		}
+	}
+	return best
+}
+
+func (st *MethodState) best() CompiledCode {
+	if t := st.HighestTier(); t > 0 {
+		return st.compiled[t]
+	}
+	return nil
+}
+
+func (st *MethodState) osrTier(loopID int) int { return st.osrTiers[loopID] }
+
+// Result is what Run returns: observable output plus bookkeeping that
+// the harness and benchmarks consume.
+type Result struct {
+	Output *Output
+	Trace  *JITTrace // nil unless Config.RecordTrace
+
+	Compilations int64 // total JIT compilations performed
+	Deopts       int64 // total uncommon-trap deoptimizations
+	OSREntries   int64 // OSR transitions interpreter -> compiled
+	GCRuns       int64
+	Steps        int64
+}
+
+// VM executes one program run. A VM is single-use: create, Run, read
+// results.
+type VM struct {
+	cfg    Config
+	prog   *bytecode.Program
+	fields []int64
+	heap   *Heap
+	out    *Output
+	trace  *JITTrace
+
+	methods []*MethodState
+	policy  Policy
+
+	steps     int64
+	stepLimit int64
+	depth     int
+
+	roots   []func(yield func(int64)) // active frame root scanners
+	unwound *Unwind                   // sticky first unwind (for crash precedence)
+
+	compilations int64
+	deopts       int64
+	osrEntries   int64
+
+	// loopByHead maps, per method, a loop header pc to its loop id.
+	loopByHead []map[int]int
+}
+
+// New creates a VM for prog.
+func New(cfg Config, prog *bytecode.Program) *VM {
+	cfg = cfg.withDefaults()
+	vm := &VM{
+		cfg:       cfg,
+		prog:      prog,
+		fields:    make([]int64, len(prog.Fields)),
+		heap:      NewHeap(cfg.HeapWords),
+		out:       newOutput(cfg.MaxOutputLines),
+		stepLimit: cfg.StepLimit,
+	}
+	if cfg.RecordTrace {
+		vm.trace = newJITTrace(cfg.TraceLimit)
+	}
+	for i, m := range prog.Methods {
+		st := &MethodState{
+			Name:        m.Name,
+			Index:       i,
+			Profile:     newMethodProfile(),
+			compiled:    map[int]CompiledCode{},
+			osr:         map[int]CompiledCode{},
+			osrTiers:    map[int]int{},
+			failedTiers: map[int]bool{},
+		}
+		st.Counters.Backedge = make([]int64, len(m.Loops))
+		vm.methods = append(vm.methods, st)
+		byHead := map[int]int{}
+		for _, l := range m.Loops {
+			byHead[l.HeadPC] = l.ID
+		}
+		vm.loopByHead = append(vm.loopByHead, byHead)
+	}
+	vm.policy = cfg.Policy
+	if vm.policy == nil {
+		vm.policy = &CounterPolicy{EntryThresholds: cfg.EntryThresholds, OSRThresholds: cfg.OSRThresholds}
+	}
+	return vm
+}
+
+// Run executes a compiled program and returns a fresh Config's result.
+// Convenience wrapper over New + (*VM).Run.
+func Run(cfg Config, prog *bytecode.Program) *Result {
+	return New(cfg, prog).Run()
+}
+
+// Run executes the program to completion.
+func (vm *VM) Run() *Result {
+	func() {
+		// Any panic below is a VM-internal fault (the analogue of a
+		// JVM SIGSEGV). Injected bug code is allowed to panic; a
+		// correct configuration must never reach this.
+		defer func() {
+			if r := recover(); r != nil {
+				vm.out.Term = TermCrash
+				vm.out.Detail = fmt.Sprintf("fatal error: %v", r)
+			}
+		}()
+		vm.runMain()
+	}()
+	res := &Result{
+		Output:       vm.out,
+		Trace:        vm.trace,
+		Compilations: vm.compilations,
+		Deopts:       vm.deopts,
+		OSREntries:   vm.osrEntries,
+		GCRuns:       vm.heap.Collections,
+		Steps:        vm.steps,
+	}
+	vm.out.Steps = vm.steps
+	return res
+}
+
+func (vm *VM) runMain() {
+	// Default array fields to empty arrays (the language has no null).
+	for i, f := range vm.prog.Fields {
+		if f.Type.IsArray() {
+			vm.fields[i] = vm.heap.Alloc(f.Type.Elem, 0)
+		}
+	}
+	if ci := vm.prog.ClinitIndex; ci >= 0 {
+		if uw := vm.interpOnly(ci); uw != nil {
+			vm.finish(uw)
+			return
+		}
+	}
+	_, uw := vm.CallMethod(vm.prog.MainIndex, nil)
+	vm.finish(uw)
+}
+
+func (vm *VM) finish(uw *Unwind) {
+	switch {
+	case uw == nil:
+		vm.out.Term = TermNormal
+	case uw.Crash != "":
+		vm.out.Term = TermCrash
+		vm.out.Detail = uw.Crash
+	case uw.Err != nil && uw.Err.Kind == trapTimeout:
+		vm.out.Term = TermTimeout
+		vm.out.Detail = "step limit exceeded"
+	case uw.Err != nil:
+		vm.out.Term = TermException
+		vm.out.Detail = uw.Err.Error()
+	}
+}
+
+// trapTimeout is an internal pseudo-trap used to thread step-limit
+// exhaustion through the normal unwind path.
+const trapTimeout TrapKind = -1
+
+func (vm *VM) timeoutUnwind() *Unwind {
+	return &Unwind{Err: &RuntimeError{Kind: trapTimeout}}
+}
+
+// interpOnly runs a method in the interpreter with no profiling
+// consequences (used for <clinit>).
+func (vm *VM) interpOnly(mi int) *Unwind {
+	m := vm.prog.Methods[mi]
+	locals := make([]int64, len(m.Locals))
+	_, uw := vm.interpLoop(vm.methods[mi], 0, locals, nil, nil, false)
+	return uw
+}
+
+// MethodStateByName exposes per-method state for tests and tools.
+func (vm *VM) MethodStateByName(name string) *MethodState {
+	for _, st := range vm.methods {
+		if st.Name == name {
+			return st
+		}
+	}
+	return nil
+}
+
+// Heap exposes the heap (tests).
+func (vm *VM) Heap() *Heap { return vm.heap }
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+// CallMethod dispatches one method call, deciding between interpreter
+// and compiled code via the policy. It implements Env for compiled
+// callers.
+func (vm *VM) CallMethod(mi int, args []int64) (int64, *Unwind) {
+	if vm.depth >= vm.cfg.MaxDepth {
+		return 0, &Unwind{Err: &RuntimeError{Kind: TrapStackOverflow}}
+	}
+	st := vm.methods[mi]
+	st.Counters.Invocations++
+
+	var tv *TempVector
+	if vm.trace != nil {
+		tv = &TempVector{Method: st.Name, CallIndex: st.Counters.Invocations}
+	}
+
+	dec := vm.policy.OnEntry(st)
+	var code CompiledCode
+	switch dec.Action {
+	case ActInterpret:
+		code = nil
+	case ActUseCompiled:
+		code = st.best()
+	case ActCompile:
+		c, uw := vm.ensureCompiled(st, dec.Tier)
+		if uw != nil {
+			return 0, uw
+		}
+		code = c
+		if code == nil {
+			code = st.best()
+		}
+	}
+
+	vm.depth++
+	defer func() { vm.depth-- }()
+
+	var ret int64
+	var uw *Unwind
+	if code != nil {
+		ret, uw = vm.runCompiled(st, code, args, tv)
+	} else {
+		if tv != nil {
+			tv.Temps = append(tv.Temps, 0)
+		}
+		m := vm.prog.Methods[mi]
+		locals := make([]int64, len(m.Locals))
+		copy(locals, args)
+		ret, uw = vm.interpLoop(st, 0, locals, nil, tv, true)
+	}
+	if tv != nil && vm.trace != nil {
+		vm.trace.add(*tv)
+	}
+	return ret, uw
+}
+
+// ensureCompiled compiles st at tier if not cached. Returns (nil, nil)
+// when compilation failed benignly (caller falls back).
+func (vm *VM) ensureCompiled(st *MethodState, tier int) (CompiledCode, *Unwind) {
+	if vm.cfg.JIT == nil {
+		return nil, nil
+	}
+	if tier > vm.cfg.JIT.MaxTier() {
+		tier = vm.cfg.JIT.MaxTier()
+	}
+	if c, ok := st.compiled[tier]; ok {
+		return c, nil
+	}
+	if st.failedTiers[tier] {
+		return nil, nil
+	}
+	req := CompileRequest{
+		Prog:        vm.prog,
+		MethodIndex: st.Index,
+		Tier:        tier,
+		OSRLoopID:   -1,
+		Profile:     st.Profile.Snapshot(),
+		Speculate:   !vm.cfg.NoSpeculation && !st.specDisabled,
+		Recompiles:  st.Compilations,
+	}
+	code, cerr := vm.cfg.JIT.Compile(req)
+	vm.compilations++
+	st.Compilations++
+	if cerr != nil {
+		if cerr.Crash {
+			// A compiler assertion failure takes the whole VM down,
+			// like a fatal error in a JVM compiler thread.
+			return nil, &Unwind{Crash: fmt.Sprintf("JIT compiler crash (tier %d, method %s): %s", tier, st.Name, cerr.Msg)}
+		}
+		st.failedTiers[tier] = true
+		return nil, nil
+	}
+	st.compiled[tier] = code
+	return code, nil
+}
+
+// ensureOSR compiles an OSR entry for (method, loop) at tier.
+func (vm *VM) ensureOSR(st *MethodState, loopID, tier int) (CompiledCode, *Unwind) {
+	if vm.cfg.JIT == nil {
+		return nil, nil
+	}
+	if tier > vm.cfg.JIT.MaxTier() {
+		tier = vm.cfg.JIT.MaxTier()
+	}
+	if st.osrTiers[loopID] >= tier {
+		return st.osr[loopID], nil
+	}
+	req := CompileRequest{
+		Prog:        vm.prog,
+		MethodIndex: st.Index,
+		Tier:        tier,
+		OSRLoopID:   loopID,
+		Profile:     st.Profile.Snapshot(),
+		Speculate:   !vm.cfg.NoSpeculation && !st.specDisabled,
+		Recompiles:  st.Compilations,
+	}
+	code, cerr := vm.cfg.JIT.Compile(req)
+	vm.compilations++
+	st.Compilations++
+	if cerr != nil {
+		if cerr.Crash {
+			return nil, &Unwind{Crash: fmt.Sprintf("JIT compiler crash (OSR tier %d, method %s, loop %d): %s", tier, st.Name, loopID, cerr.Msg)}
+		}
+		// Benign failure: remember the tier so we stop retrying.
+		st.osrTiers[loopID] = tier
+		st.osr[loopID] = nil
+		return nil, nil
+	}
+	st.osrTiers[loopID] = tier
+	st.osr[loopID] = code
+	return code, nil
+}
+
+// runCompiled executes compiled code for a regular method entry and
+// handles deopt by resuming interpretation.
+func (vm *VM) runCompiled(st *MethodState, code CompiledCode, args []int64, tv *TempVector) (int64, *Unwind) {
+	if tv != nil {
+		tv.Temps = append(tv.Temps, code.Tier())
+	}
+	res := code.Run(vm, args)
+	switch res.Kind {
+	case ExecReturn:
+		return res.Value, nil
+	case ExecUnwind:
+		return 0, res.Unwind
+	case ExecDeopt:
+		return vm.handleDeopt(st, res.Deopt, tv)
+	}
+	panic("vm: bad ExecResult kind")
+}
+
+// handleDeopt processes an uncommon trap: invalidate the speculative
+// code, cool the method down (Definition 3.2: traps cool temperature
+// to t0), and resume in the interpreter at the trap's frame state.
+func (vm *VM) handleDeopt(st *MethodState, d *Deopt, tv *TempVector) (int64, *Unwind) {
+	vm.deopts++
+	st.DeoptCount++
+	if st.DeoptCount >= vm.cfg.DeoptLimit {
+		st.specDisabled = true
+	}
+	// Throw away every compiled version of the method: the profile it
+	// was built from was wrong. Recompilation will happen naturally
+	// when thresholds are crossed again, with a corrected profile.
+	for t := range st.compiled {
+		delete(st.compiled, t)
+	}
+	for l := range st.osr {
+		delete(st.osr, l)
+		delete(st.osrTiers, l)
+	}
+	if tv != nil {
+		tv.Temps = append(tv.Temps, 0)
+	}
+	return vm.interpLoop(st, d.PC, d.Locals, d.Stack, tv, true)
+}
+
+// ---------------------------------------------------------------------------
+// Env implementation (runtime services for compiled code)
+// ---------------------------------------------------------------------------
+
+var _ Env = (*VM)(nil)
+
+// GetField implements Env.
+func (vm *VM) GetField(i int) int64 { return vm.fields[i] }
+
+// SetField implements Env.
+func (vm *VM) SetField(i int, v int64) { vm.fields[i] = v }
+
+// Print implements Env.
+func (vm *VM) Print(kind ast.Kind, v int64) { vm.out.addLine(formatValue(kind, v)) }
+
+// Step implements Env: consume abstract execution budget.
+func (vm *VM) Step(n int64) *Unwind {
+	vm.steps += n
+	if vm.steps > vm.stepLimit {
+		return vm.timeoutUnwind()
+	}
+	return nil
+}
+
+// NewArray implements Env: allocate, collecting (and checking the
+// heap) when needed.
+func (vm *VM) NewArray(elem ast.Kind, n int64) (int64, *RuntimeError) {
+	if n < 0 {
+		return 0, &RuntimeError{Kind: TrapNegativeArraySize, Msg: fmt.Sprintf("%d", n)}
+	}
+	if vm.heap.WouldExceed(n) || vm.heap.AllocsSinceGC() >= vm.cfg.GCInterval {
+		if err := vm.collect(); err != nil {
+			// Heap corruption: surface as a crash via panic, caught at
+			// the Run boundary. (Returning a RuntimeError would make
+			// it look like program behaviour.)
+			panic(err.Error())
+		}
+		if vm.heap.WouldExceed(n) {
+			return 0, &RuntimeError{Kind: TrapOutOfMemory}
+		}
+	}
+	return vm.heap.Alloc(elem, n), nil
+}
+
+func (vm *VM) collect() error {
+	return vm.heap.Collect(func(yield func(int64)) {
+		for _, v := range vm.fields {
+			yield(v)
+		}
+		for _, scan := range vm.roots {
+			scan(yield)
+		}
+	})
+}
+
+// ArrayLoad implements Env.
+func (vm *VM) ArrayLoad(ref, idx int64) (int64, *RuntimeError) {
+	a := vm.heap.Get(ref)
+	if a == nil {
+		panic(fmt.Sprintf("invalid array handle %d", ref))
+	}
+	if idx < 0 || idx >= a.Len() {
+		return 0, &RuntimeError{Kind: TrapIndexOutOfBounds, Msg: fmt.Sprintf("index %d, length %d", idx, a.Len())}
+	}
+	return a.Data[idx], nil
+}
+
+// ArrayStore implements Env.
+func (vm *VM) ArrayStore(ref, idx, val int64) *RuntimeError {
+	a := vm.heap.Get(ref)
+	if a == nil {
+		panic(fmt.Sprintf("invalid array handle %d", ref))
+	}
+	if idx < 0 || idx >= a.Len() {
+		return &RuntimeError{Kind: TrapIndexOutOfBounds, Msg: fmt.Sprintf("index %d, length %d", idx, a.Len())}
+	}
+	a.Data[idx] = truncate(a.Elem, val)
+	return nil
+}
+
+// ArrayStoreRaw implements Env; see the interface comment — only
+// reachable through injected compiler bugs.
+func (vm *VM) ArrayStoreRaw(ref, idx, val int64) {
+	a := vm.heap.Get(ref)
+	if a == nil {
+		panic(fmt.Sprintf("invalid array handle %d", ref))
+	}
+	if idx < 0 || idx >= int64(len(a.Data)) {
+		// Even the buggy store cannot escape the Go slice; clamp to
+		// the canary word to model adjacent-object corruption.
+		idx = int64(len(a.Data)) - 1
+	}
+	a.Data[idx] = truncate(a.Elem, val)
+}
+
+// ArrayLen implements Env.
+func (vm *VM) ArrayLen(ref int64) (int64, *RuntimeError) {
+	a := vm.heap.Get(ref)
+	if a == nil {
+		panic(fmt.Sprintf("invalid array handle %d", ref))
+	}
+	return a.Len(), nil
+}
+
+// RegisterRoots adds a frame root scanner for the GC; the returned
+// function removes it. Compiled code registers its register file and
+// spill slots here.
+func (vm *VM) RegisterRoots(scan func(yield func(int64))) func() {
+	vm.roots = append(vm.roots, scan)
+	idx := len(vm.roots) - 1
+	return func() { vm.roots = vm.roots[:idx] }
+}
+
+// truncate stores a value with the element width of an array.
+func truncate(elem ast.Kind, v int64) int64 {
+	switch elem {
+	case ast.KindInt:
+		return int64(int32(v))
+	case ast.KindBoolean:
+		return v & 1
+	default:
+		return v
+	}
+}
