@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
 	"testing"
 	"time"
@@ -133,6 +134,34 @@ func BenchmarkTable2Components(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(crashes), "crash-components")
+	}
+}
+
+// BenchmarkCampaignParallel measures the parallel campaign engine at
+// 1, 4, and NumCPU workers over one fixed workload. Stats are
+// byte-identical across worker counts (asserted by the harness
+// determinism tests); only wall-clock should move. On multi-core
+// hardware expect near-linear scaling — per-seed work shares nothing.
+func BenchmarkCampaignParallel(b *testing.B) {
+	prof := mustProfile(b, "openj9like")
+	counts := []int{1, 4, runtime.NumCPU()}
+	seen := map[int]bool{}
+	for _, w := range counts {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				stats := harness.RunCampaign(harness.CampaignOptions{
+					Options: harness.Options{Profile: prof, MaxIter: 6, Buggy: true},
+					Seeds:   30,
+					Workers: w,
+				})
+				b.ReportMetric(stats.Throughput(), "vm-runs/s")
+				b.ReportMetric(float64(len(stats.Distinct)), "distinct")
+			}
+		})
 	}
 }
 

@@ -9,12 +9,17 @@
 //	artemis -table2 -seeds 150                     # Table 2 (crash components)
 //	artemis -table4 -seeds 400                     # Table 4 (CSE vs traditional)
 //	artemis -selfcheck -seeds 50                   # correct VM: expect 0 findings
+//	artemis -workers 8 -seeds 1000                 # 8 parallel seed workers
+//
+// Campaign output is byte-identical for any -workers value: seeds run
+// in parallel but merge deterministically in seed order.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"artemis/internal/harness"
 	"artemis/internal/profiles"
@@ -27,12 +32,20 @@ func main() {
 	seedBase := flag.Int64("seedbase", 0, "first fuzzer seed")
 	steps := flag.Int64("steps", 0, "per-run step budget (0 = default)")
 	confirm := flag.Bool("confirm", false, "confirm findings and bisect the responsible defect (slower)")
+	workers := flag.Int("workers", 0, "parallel seed workers (0 = all CPUs); any value yields identical output")
+	seedTimeout := flag.Duration("seedtimeout", 0, "per-seed wall-clock budget (0 = none; non-zero trades determinism for liveness)")
+	quiet := flag.Bool("quiet", false, "suppress progress lines on stderr")
 	table1 := flag.Bool("table1", false, "regenerate Table 1 (all profiles)")
 	table2 := flag.Bool("table2", false, "regenerate Table 2 (crash components)")
 	table4 := flag.Bool("table4", false, "regenerate Table 4 (comparative study, openj9like)")
 	selfcheck := flag.Bool("selfcheck", false, "run against the CORRECT VM; any finding is a bug in this repository")
 	examples := flag.Bool("examples", false, "print example bug-triggering mutants")
 	flag.Parse()
+
+	var progress func(harness.Progress)
+	if !*quiet {
+		progress = harness.StderrProgress(2 * time.Second)
+	}
 
 	switch {
 	case *table1 || *table2:
@@ -45,6 +58,7 @@ func main() {
 					StepLimit: *steps, ConfirmAndFix: *confirm || *table1,
 				},
 				Seeds: *seeds, SeedBase: *seedBase,
+				Workers: *workers, SeedTimeout: *seedTimeout, Progress: progress,
 			})
 			all = append(all, stats)
 		}
@@ -65,6 +79,7 @@ func main() {
 			Seeds:       *seeds,
 			SeedBase:    *seedBase,
 			Comparative: true,
+			Workers:     *workers, SeedTimeout: *seedTimeout, Progress: progress,
 		})
 		fmt.Println(harness.FormatTable4(stats))
 	default:
@@ -79,6 +94,7 @@ func main() {
 				StepLimit: *steps, ConfirmAndFix: *confirm,
 			},
 			Seeds: *seeds, SeedBase: *seedBase,
+			Workers: *workers, SeedTimeout: *seedTimeout, Progress: progress,
 		})
 		fmt.Printf("profile %s: %d seeds, %d mutants, %d VM runs in %s (%.2f runs/s)\n",
 			stats.Profile, stats.Seeds, stats.Mutants, stats.Runs,

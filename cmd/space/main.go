@@ -9,6 +9,10 @@
 //	space                               # Figure 1's program, 16 choices
 //	space -profile artlike prog.mj      # enumerate a user program
 //	space -buggy prog.mj                # hunt in the seeded-defect VM
+//	space -workers 8 prog.mj            # evaluate choices on 8 workers
+//
+// Choices are evaluated in parallel (each on a fresh VM) and reported
+// in mask order, so output is identical for any worker count.
 package main
 
 import (
@@ -39,6 +43,7 @@ func main() {
 	profileName := flag.String("profile", "hotspotlike", "VM profile")
 	buggy := flag.Bool("buggy", false, "use the seeded-defect VM")
 	methodsFlag := flag.String("methods", "", "comma-separated methods to toggle (default: all)")
+	workers := flag.Int("workers", 0, "parallel choice workers (0 = all CPUs); any value yields identical output")
 	flag.Parse()
 
 	src := figure1
@@ -72,7 +77,7 @@ func main() {
 		}
 	}
 
-	choices := harness.EnumerateSpace(prof, prog, methods, *buggy)
+	choices := harness.EnumerateSpaceParallel(prof, prog, methods, *buggy, *workers)
 	fmt.Printf("compilation space of %s modulo %s: %d choices over methods %s\n\n",
 		progName(prog), prof.Name, len(choices), strings.Join(methods, ", "))
 

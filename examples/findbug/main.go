@@ -42,8 +42,20 @@ func main() {
 		if len(res.Findings) == 0 {
 			continue
 		}
-		finding = res.Findings[0]
-		buggySrc = res.MutantSources[0]
+		// MutantSources pairs 1:1 with Findings; a seed whose default
+		// run crashed has no mutant source ("") and cannot be reduced,
+		// so pick the first finding that comes with one.
+		found := false
+		for i, f := range res.Findings {
+			if res.MutantSources[i] != "" {
+				finding, buggySrc = f, res.MutantSources[i]
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
 		fmt.Printf("seed %d, mutant %d: %s", seed, finding.MutantID, finding.Kind)
 		if finding.Component != "" {
 			fmt.Printf(" in %q", finding.Component)

@@ -2,12 +2,12 @@ package harness
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
-	"artemis/internal/fuzz"
 	"artemis/internal/lang/ast"
 	"artemis/internal/profiles"
 	"artemis/internal/vm"
@@ -27,6 +27,25 @@ type CampaignOptions struct {
 	// Comparative also runs the traditional (-Xjit:count=0 analogue)
 	// oracle per seed.
 	Comparative bool
+
+	// Workers is the number of parallel seed workers (0 = NumCPU).
+	// Stats are byte-identical for every worker count: per-seed work
+	// is independent (RNG derived from the seed ID, fresh VM and JIT
+	// per run) and outcomes are merged in seed order.
+	Workers int
+	// SeedTimeout, when positive, discards any seed whose whole
+	// chain exceeds this wall-clock budget (counted in
+	// DiscardedSeeds). Wall-clock cutoffs are timing-dependent;
+	// leave at 0 for bit-exact reproducibility (StepLimit already
+	// bounds runs deterministically).
+	SeedTimeout time.Duration
+	// Progress, when non-nil, is called after each merged seed, in
+	// seed order, from a single goroutine. See StderrProgress.
+	Progress func(Progress)
+
+	// seedHook runs at the start of each seed (test-only: panic and
+	// timeout injection).
+	seedHook func(idx int, seedID int64)
 }
 
 // DedupFinding is a distinct finding with its duplicate count.
@@ -127,56 +146,21 @@ func (cs *CampaignStats) Throughput() float64 {
 	return float64(cs.Runs) / cs.Elapsed.Seconds()
 }
 
-// RunCampaign drives a full campaign.
+// RunCampaign drives a full campaign over a pool of Workers
+// goroutines (see parallel.go). Per-seed work runs concurrently;
+// outcomes are merged in seed order, so the returned stats are
+// byte-identical for any worker count.
 func RunCampaign(opts CampaignOptions) *CampaignStats {
 	opts.Options = opts.Options.withDefaults()
-	start := time.Now()
-	stats := &CampaignStats{Profile: opts.Profile.Name, Seeds: opts.Seeds}
-	seen := map[string]int{} // signature -> index into Distinct
-
-	for i := 0; i < opts.Seeds; i++ {
-		seedID := opts.SeedBase + int64(i)
-		seedProg := fuzz.Generate(fuzz.Options{Seed: seedID})
-
-		o := opts.Options
-		o.Rand = rand.New(rand.NewSource(seedID * 7919))
-		res := Validate(seedProg, seedID, o)
-		stats.Runs += res.Runs
-		stats.Mutants += res.Mutants
-		if res.SeedDiscarded {
-			stats.DiscardedSeeds++
-			continue
-		}
-		if len(res.Findings) > 0 {
-			stats.CSESeeds++
-		}
-		for fi, f := range res.Findings {
-			if idx, dup := seen[f.Signature]; dup {
-				stats.Duplicates++
-				stats.Distinct[idx].Count++
-				continue
-			}
-			seen[f.Signature] = len(stats.Distinct)
-			stats.Distinct = append(stats.Distinct, DedupFinding{Finding: f, Count: 1})
-			if len(stats.Examples) < 5 && fi < len(res.MutantSources) {
-				stats.Examples = append(stats.Examples, res.MutantSources[fi])
-			}
-		}
-
-		if opts.Comparative {
-			bp := Compile(seedProg)
-			hit, runs := TraditionalDiscrepancy(bp, o)
-			stats.Runs += runs
-			if hit {
-				stats.TradSeeds++
-				if len(res.Findings) > 0 {
-					stats.BothSeeds++
-				}
-			}
-		}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers()
 	}
-	stats.Elapsed = time.Since(start)
-	return stats
+	start := time.Now()
+	m := newMerger(opts, start)
+	runCampaignParallel(opts, workers, m)
+	m.stats.Elapsed = time.Since(start)
+	return m.stats
 }
 
 // ---------------------------------------------------------------------------
@@ -209,12 +193,22 @@ func (c *SpaceChoice) Label(methods []string) string {
 // idealized compilation space of Figure 1, realizable here because we
 // own the VM (Section 3.2's "straightforward and ideal realization").
 // All outputs must agree on a correct VM; set buggy to hunt in the
-// seeded-defect VM instead.
+// seeded-defect VM instead. Choices are evaluated on NumCPU workers;
+// use EnumerateSpaceParallel to pick the worker count.
 func EnumerateSpace(prof *profiles.Profile, prog *ast.Program, methods []string, buggy bool) []SpaceChoice {
+	return EnumerateSpaceParallel(prof, prog, methods, buggy, DefaultWorkers())
+}
+
+// EnumerateSpaceParallel is EnumerateSpace over an explicit worker
+// count. Each mask gets a fresh VM and JIT; the shared compiled
+// program is read-only, and results land at their mask index, so the
+// returned slice is identical for any worker count.
+func EnumerateSpaceParallel(prof *profiles.Profile, prog *ast.Program, methods []string, buggy bool, workers int) []SpaceChoice {
 	bp := Compile(prog)
 	n := len(methods)
-	choices := make([]SpaceChoice, 0, 1<<n)
-	for mask := 0; mask < 1<<n; mask++ {
+	total := 1 << n
+	choices := make([]SpaceChoice, total)
+	runMask := func(mask int) {
 		compiled := map[string]bool{}
 		forced := map[string]vm.ForceChoice{}
 		for i, m := range methods {
@@ -229,8 +223,36 @@ func EnumerateSpace(prof *profiles.Profile, prog *ast.Program, methods []string,
 		cfg.Policy = &vm.ForcedPolicy{Tier: prof.MaxTier, Methods: forced, DisableOSR: true}
 		cfg.RecordTrace = true
 		res := vm.Run(cfg, bp)
-		choices = append(choices, SpaceChoice{Compiled: compiled, Output: res.Output, Trace: res.Trace})
+		choices[mask] = SpaceChoice{Compiled: compiled, Output: res.Output, Trace: res.Trace}
 	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > total {
+		workers = total
+	}
+	if workers <= 1 {
+		for mask := 0; mask < total; mask++ {
+			runMask(mask)
+		}
+		return choices
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mask := int(next.Add(1)) - 1
+				if mask >= total {
+					return
+				}
+				runMask(mask)
+			}
+		}()
+	}
+	wg.Wait()
 	return choices
 }
 

@@ -180,9 +180,12 @@ func runProgram(o Options, set bugs.Set, bp *bytecode.Program) *vm.Output {
 type Result struct {
 	SeedDiscarded bool // seed timed out; nothing comparable
 	Findings      []Finding
-	Runs          int      // VM invocations performed
-	Mutants       int      // mutants generated
-	MutantSources []string // sources of discrepancy-triggering mutants
+	Runs          int // VM invocations performed
+	Mutants       int // mutants generated
+	// MutantSources pairs 1:1 with Findings: MutantSources[i] is the
+	// source of the mutant that triggered Findings[i], or "" when the
+	// finding has no mutant (the seed's own default run crashed).
+	MutantSources []string
 }
 
 // Validate implements Algorithm 1 for one seed program: run the seed
@@ -204,6 +207,7 @@ func Validate(seedProg *ast.Program, seedID int64, o Options) *Result {
 	// on its own (it exercised the JIT by itself).
 	if ref.Term == vm.TermCrash {
 		res.Findings = append(res.Findings, newFinding(o, set, seedProg, seedID, -1, ref, ref))
+		res.MutantSources = append(res.MutantSources, "") // no mutant: the seed itself crashed
 		return res
 	}
 
