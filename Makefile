@@ -1,0 +1,34 @@
+# Tier-1 gate plus the extended checks CI runs. The container this
+# repo is developed in has a single vCPU, so race-enabled campaign
+# tests are slow: every target carries an explicit -timeout generous
+# enough for that hardware.
+
+GO      ?= go
+TIMEOUT ?= 9000s
+
+.PHONY: all build vet test race bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Tier-1 gate: everything must build and every test must pass.
+test: build
+	$(GO) test -timeout $(TIMEOUT) ./...
+
+# Race-enabled run of the packages with real concurrency (the parallel
+# campaign engine and the compilation-space enumerator live in
+# internal/harness; the root package drives them from benchmarks).
+race:
+	$(GO) test -race -timeout $(TIMEOUT) ./internal/harness/ .
+
+# One-shot pass over every benchmark, mostly to prove they still run;
+# use bigger -benchtime for real measurements.
+bench:
+	$(GO) test -bench . -benchtime 1x -timeout $(TIMEOUT) .
+
+ci: vet test race

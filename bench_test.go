@@ -165,6 +165,37 @@ func BenchmarkCampaignParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaignMetricsOverhead runs BenchmarkCampaignParallel's
+// workers=1 workload with metrics collection off and on. The disabled
+// path must be in the noise (stats are nil-guarded at compile/deopt/GC
+// events and cost nothing per interpreted step); the enabled path adds
+// trace recording plus counter updates and stays within a few percent.
+func BenchmarkCampaignMetricsOverhead(b *testing.B) {
+	prof := mustProfile(b, "openj9like")
+	for _, metrics := range []bool{false, true} {
+		name := "metrics=off"
+		if metrics {
+			name = "metrics=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				stats := harness.RunCampaign(harness.CampaignOptions{
+					Options: harness.Options{
+						Profile: prof, MaxIter: 6, Buggy: true,
+						CollectMetrics: metrics,
+					},
+					Seeds:   30,
+					Workers: 1,
+				})
+				b.ReportMetric(stats.Throughput(), "vm-runs/s")
+				if metrics && stats.Metrics == nil {
+					b.Fatal("metrics run produced no CampaignMetrics")
+				}
+			}
+		})
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Table 3 — mutation cost
 // ---------------------------------------------------------------------------

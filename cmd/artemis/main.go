@@ -10,9 +10,11 @@
 //	artemis -table4 -seeds 400                     # Table 4 (CSE vs traditional)
 //	artemis -selfcheck -seeds 50                   # correct VM: expect 0 findings
 //	artemis -workers 8 -seeds 1000                 # 8 parallel seed workers
+//	artemis -metrics out.json -seeds 200           # exploration-coverage metrics
 //
-// Campaign output is byte-identical for any -workers value: seeds run
-// in parallel but merge deterministically in seed order.
+// Campaign output — including the -metrics JSON — is byte-identical
+// for any -workers value: seeds run in parallel but merge
+// deterministically in seed order.
 package main
 
 import (
@@ -40,7 +42,10 @@ func main() {
 	table4 := flag.Bool("table4", false, "regenerate Table 4 (comparative study, openj9like)")
 	selfcheck := flag.Bool("selfcheck", false, "run against the CORRECT VM; any finding is a bug in this repository")
 	examples := flag.Bool("examples", false, "print example bug-triggering mutants")
+	metricsOut := flag.String("metrics", "", "collect execution metrics and write the JSON report to this file (byte-identical for any -workers value)")
 	flag.Parse()
+
+	collectMetrics := *metricsOut != ""
 
 	var progress func(harness.Progress)
 	if !*quiet {
@@ -56,6 +61,7 @@ func main() {
 				Options: harness.Options{
 					Profile: prof, MaxIter: *iters, Buggy: true,
 					StepLimit: *steps, ConfirmAndFix: *confirm || *table1,
+					CollectMetrics: collectMetrics,
 				},
 				Seeds: *seeds, SeedBase: *seedBase,
 				Workers: *workers, SeedTimeout: *seedTimeout, Progress: progress,
@@ -68,6 +74,7 @@ func main() {
 		if *table2 {
 			fmt.Println(harness.FormatTable2(all))
 		}
+		writeMetrics(*metricsOut, all)
 	case *table4:
 		prof, err := profiles.Get("openj9like")
 		if err != nil {
@@ -75,13 +82,17 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "comparative campaign: openj9like (%d seeds)...\n", *seeds)
 		stats := harness.RunCampaign(harness.CampaignOptions{
-			Options:     harness.Options{Profile: prof, MaxIter: *iters, Buggy: true, StepLimit: *steps},
+			Options: harness.Options{
+				Profile: prof, MaxIter: *iters, Buggy: true, StepLimit: *steps,
+				CollectMetrics: collectMetrics,
+			},
 			Seeds:       *seeds,
 			SeedBase:    *seedBase,
 			Comparative: true,
 			Workers:     *workers, SeedTimeout: *seedTimeout, Progress: progress,
 		})
 		fmt.Println(harness.FormatTable4(stats))
+		writeMetrics(*metricsOut, []*harness.CampaignStats{stats})
 	default:
 		prof, err := profiles.Get(*profileName)
 		if err != nil {
@@ -92,6 +103,7 @@ func main() {
 			Options: harness.Options{
 				Profile: prof, MaxIter: *iters, Buggy: buggy,
 				StepLimit: *steps, ConfirmAndFix: *confirm,
+				CollectMetrics: collectMetrics,
 			},
 			Seeds: *seeds, SeedBase: *seedBase,
 			Workers: *workers, SeedTimeout: *seedTimeout, Progress: progress,
@@ -121,7 +133,25 @@ func main() {
 				fmt.Printf("\n--- example mutant %d ---\n%s", i, ex)
 			}
 		}
+		writeMetrics(*metricsOut, []*harness.CampaignStats{stats})
 	}
+}
+
+// writeMetrics writes the deterministic metrics JSON to path and prints
+// the human-readable coverage summary. No-op when path is empty.
+func writeMetrics(path string, all []*harness.CampaignStats) {
+	if path == "" {
+		return
+	}
+	data, err := harness.MetricsReport(all)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Println(harness.FormatMetrics(all))
+	fmt.Printf("metrics written to %s\n", path)
 }
 
 func fatal(err error) {

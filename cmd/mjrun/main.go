@@ -82,6 +82,7 @@ func main() {
 	}
 	cfg.StepLimit = *steps
 	cfg.RecordTrace = *trace
+	cfg.CollectStats = *stats
 
 	res := vm.Run(cfg, bp)
 	for _, line := range res.Output.Lines {
@@ -105,6 +106,14 @@ func main() {
 	if *stats {
 		fmt.Printf("steps=%d compilations=%d deopts=%d osr=%d gc=%d\n",
 			res.Steps, res.Compilations, res.Deopts, res.OSREntries, res.GCRuns)
+		if s := res.Stats; s != nil {
+			fmt.Printf("interp-steps=%d compiled-steps=%d by-tier=%v failed=%d traps=%d peak-heap=%d\n",
+				s.InterpSteps, s.CompiledSteps, s.CompilationsByTier,
+				s.FailedCompilations, s.UncommonTraps, s.PeakHeapWords)
+			if len(s.OptsByPass) > 0 {
+				fmt.Printf("jit-opts=%v\n", s.OptsByPass)
+			}
+		}
 	}
 	if res.Output.Term == vm.TermCrash {
 		os.Exit(3)

@@ -10,12 +10,14 @@
 //	space -profile artlike prog.mj      # enumerate a user program
 //	space -buggy prog.mj                # hunt in the seeded-defect VM
 //	space -workers 8 prog.mj            # evaluate choices on 8 workers
+//	space -metrics space.json           # per-choice execution metrics
 //
 // Choices are evaluated in parallel (each on a fresh VM) and reported
 // in mask order, so output is identical for any worker count.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -44,6 +46,7 @@ func main() {
 	buggy := flag.Bool("buggy", false, "use the seeded-defect VM")
 	methodsFlag := flag.String("methods", "", "comma-separated methods to toggle (default: all)")
 	workers := flag.Int("workers", 0, "parallel choice workers (0 = all CPUs); any value yields identical output")
+	metricsOut := flag.String("metrics", "", "write per-choice execution metrics JSON to this file")
 	flag.Parse()
 
 	src := figure1
@@ -88,12 +91,58 @@ func main() {
 		byKey[c.Output.Key()]++
 	}
 	fmt.Println()
+	if *metricsOut != "" {
+		if err := writeSpaceMetrics(*metricsOut, prog, prof, methods, choices, len(byKey)); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsOut)
+	}
 	if len(byKey) == 1 {
 		fmt.Println("all choices agree: no JIT-compiler bug observable in this space")
 	} else {
 		fmt.Printf("DISCREPANCY: %d distinct behaviours in one compilation space — JIT-compiler bug!\n", len(byKey))
 		os.Exit(3)
 	}
+}
+
+// writeSpaceMetrics exports the enumerated space as deterministic JSON:
+// one entry per compilation choice with its output key, JIT-trace key,
+// and execution metrics (wall-clock fields are excluded by ExecStats'
+// JSON tags, so the bytes are identical for any -workers value).
+func writeSpaceMetrics(path string, prog *ast.Program, prof *profiles.Profile, methods []string, choices []harness.SpaceChoice, distinct int) error {
+	type choiceJSON struct {
+		Label         string        `json:"label"`
+		OutputKey     string        `json:"output_key"`
+		TraceKey      string        `json:"trace_key"`
+		MaxTemp       int           `json:"max_temp"`
+		HottestMethod string        `json:"hottest_method,omitempty"`
+		Stats         *vm.ExecStats `json:"stats"`
+	}
+	report := struct {
+		Program            string       `json:"program"`
+		Profile            string       `json:"profile"`
+		Methods            []string     `json:"methods"`
+		DistinctBehaviours int          `json:"distinct_behaviours"`
+		Choices            []choiceJSON `json:"choices"`
+	}{
+		Program: progName(prog), Profile: prof.Name, Methods: methods,
+		DistinctBehaviours: distinct,
+	}
+	for _, c := range choices {
+		report.Choices = append(report.Choices, choiceJSON{
+			Label:         c.Label(methods),
+			OutputKey:     c.Output.Key(),
+			TraceKey:      c.Trace.Key(),
+			MaxTemp:       c.Trace.MaxTemp(),
+			HottestMethod: c.Trace.HottestMethod(),
+			Stats:         c.Stats,
+		})
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func progName(p *ast.Program) string { return p.Class.Name }

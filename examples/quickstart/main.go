@@ -57,10 +57,19 @@ func main() {
 		EntryThresholds: []int64{5, 20},
 		OSRThresholds:   []int64{5, 20},
 		RecordTrace:     true,
+		CollectStats:    true,
 	}
 	seedRes := vm.Run(cfg, bp)
 	fmt.Println("seed output:   ", seedRes.Output.Lines)
 	fmt.Println("seed JIT trace:", seedRes.Trace)
+
+	// Execution metrics (Result.Stats): how much of the compilation
+	// machinery the run exercised.
+	st := seedRes.Stats
+	fmt.Printf("seed metrics:   %d interpreted + %d compiled steps, "+
+		"compilations by tier %v (%d OSR), %d deopts\n",
+		st.InterpSteps, st.CompiledSteps, st.CompilationsByTier,
+		st.OSRCompilations, st.Deopts)
 
 	// 3. One JoNM mutation: same observable behaviour, different
 	// compilation choices.

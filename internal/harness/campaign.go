@@ -79,6 +79,11 @@ type CampaignStats struct {
 
 	// Example mutant sources (up to 5) for reports / reduction demos.
 	Examples []string
+
+	// Metrics aggregates per-run execution metrics and
+	// exploration-coverage accounting over all metered seeds; nil
+	// unless Options.CollectMetrics. See MetricsReport/FormatMetrics.
+	Metrics *CampaignMetrics
 }
 
 // ByKind returns distinct-finding counts per kind.
@@ -173,6 +178,7 @@ type SpaceChoice struct {
 	Compiled map[string]bool
 	Output   *vm.Output
 	Trace    *vm.JITTrace
+	Stats    *vm.ExecStats
 }
 
 // Label renders the choice like "main:int foo:jit ...".
@@ -222,8 +228,9 @@ func EnumerateSpaceParallel(prof *profiles.Profile, prog *ast.Program, methods [
 		cfg := prof.VMConfig(buggy)
 		cfg.Policy = &vm.ForcedPolicy{Tier: prof.MaxTier, Methods: forced, DisableOSR: true}
 		cfg.RecordTrace = true
+		cfg.CollectStats = true
 		res := vm.Run(cfg, bp)
-		choices[mask] = SpaceChoice{Compiled: compiled, Output: res.Output, Trace: res.Trace}
+		choices[mask] = SpaceChoice{Compiled: compiled, Output: res.Output, Trace: res.Trace, Stats: res.Stats}
 	}
 	if workers <= 0 {
 		workers = DefaultWorkers()

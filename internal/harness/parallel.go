@@ -140,6 +140,12 @@ func (m *merger) add(out seedOutcome) {
 	m.done++
 	m.stats.Runs += res.Runs + out.tradRuns
 	m.stats.Mutants += res.Mutants
+	if res.Metrics != nil {
+		if m.stats.Metrics == nil {
+			m.stats.Metrics = &CampaignMetrics{}
+		}
+		m.stats.Metrics.merge(res.Metrics)
+	}
 	if m.opts.Progress != nil {
 		defer m.emitProgress()
 	}

@@ -6,6 +6,7 @@ package harness
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"regexp"
 	"strings"
@@ -51,7 +52,10 @@ func (k FindingKind) String() string {
 type Finding struct {
 	Kind      FindingKind
 	Profile   string
-	Component string // crash component ("" for mis-compilations)
+	// Component is the crash component for crashes, the hottest
+	// (offending) method for performance findings, and "" for
+	// mis-compilations.
+	Component string
 	Signature string // dedup key
 	Detail    string
 	SeedID    int64
@@ -84,7 +88,10 @@ func signatureOf(kind FindingKind, profile, component, detail string) string {
 		}
 		return fmt.Sprintf("crash|%s|%s|%s", profile, component, norm)
 	case Performance:
-		return fmt.Sprintf("perf|%s", profile)
+		// Keyed by the offending method and the slowdown-magnitude
+		// bucket so two different performance pathologies in one
+		// profile occupy distinct slots instead of deduping together.
+		return fmt.Sprintf("perf|%s|%s|%s", profile, component, detail)
 	default:
 		return fmt.Sprintf("miscompile|%s|%s", profile, detail)
 	}
@@ -131,6 +138,14 @@ type Options struct {
 	// ConfirmAndFix enables the reproduce + fix-bisection analysis on
 	// findings (slower).
 	ConfirmAndFix bool
+	// CollectMetrics enables per-run ExecStats and JIT-trace
+	// collection, aggregated into Result.Metrics (and, by campaigns,
+	// into CampaignStats.Metrics).
+	CollectMetrics bool
+	// TraceLimit overrides the VM's retained-trace cap for metered
+	// runs (0 = VM default). Truncation affects memory only, never
+	// metric values.
+	TraceLimit int
 }
 
 func (o Options) withDefaults() Options {
@@ -170,10 +185,15 @@ func (o Options) mutationConfig() *jonm.Config {
 }
 
 // runProgram executes bp on the profile VM with the given bug set.
-func runProgram(o Options, set bugs.Set, bp *bytecode.Program) *vm.Output {
+func runProgram(o Options, set bugs.Set, bp *bytecode.Program) *vm.Result {
 	cfg := o.Profile.VMConfigWithBugs(set)
 	cfg.StepLimit = o.StepLimit
-	return vm.Run(cfg, bp).Output
+	if o.CollectMetrics {
+		cfg.CollectStats = true
+		cfg.RecordTrace = true
+		cfg.TraceLimit = o.TraceLimit
+	}
+	return vm.Run(cfg, bp)
 }
 
 // Result is one seed's validation outcome.
@@ -186,6 +206,9 @@ type Result struct {
 	// source of the mutant that triggered Findings[i], or "" when the
 	// finding has no mutant (the seed's own default run crashed).
 	MutantSources []string
+	// Metrics aggregates execution metrics and exploration coverage
+	// over this seed's runs; nil unless Options.CollectMetrics.
+	Metrics *SeedMetrics
 }
 
 // Validate implements Algorithm 1 for one seed program: run the seed
@@ -195,10 +218,21 @@ func Validate(seedProg *ast.Program, seedID int64, o Options) *Result {
 	o = o.withDefaults()
 	set := o.bugSet()
 	res := &Result{}
+	var meter *seedMeter
+	if o.CollectMetrics {
+		meter = newSeedMeter()
+		defer func() { res.Metrics = meter.finish() }()
+	}
+	record := func(r *vm.Result) *vm.Result {
+		if meter != nil {
+			meter.record(r)
+		}
+		res.Runs++
+		return r
+	}
 
 	seedBP := Compile(seedProg)
-	ref := runProgram(o, set, seedBP)
-	res.Runs++
+	ref := record(runProgram(o, set, seedBP)).Output
 	if ref.Term == vm.TermTimeout {
 		res.SeedDiscarded = true
 		return res
@@ -219,24 +253,21 @@ func Validate(seedProg *ast.Program, seedID int64, o Options) *Result {
 		}
 		res.Mutants++
 		mbp := Compile(mutant)
-		out := runProgram(o, set, mbp)
-		res.Runs++
+		outRes := record(runProgram(o, set, mbp))
+		out := outRes.Output
 		if out.Term == vm.TermTimeout {
 			// Distinguish "mutant is just hot" from a JIT-induced
 			// performance collapse: rerun without JIT.
 			intCfg := o.Profile.InterpreterConfig()
 			intCfg.StepLimit = o.StepLimit
-			intOut := vm.Run(intCfg, mbp).Output
-			res.Runs++
+			if o.CollectMetrics {
+				intCfg.CollectStats = true
+				intCfg.RecordTrace = true
+				intCfg.TraceLimit = o.TraceLimit
+			}
+			intOut := record(vm.Run(intCfg, mbp)).Output
 			if intOut.Term != vm.TermTimeout {
-				f := Finding{
-					Kind:      Performance,
-					Profile:   o.Profile.Name,
-					Detail:    "compiled run exceeds step budget; interpreted run finishes",
-					SeedID:    seedID,
-					MutantID:  i,
-					Signature: signatureOf(Performance, o.Profile.Name, "", ""),
-				}
+				f := perfFinding(o, set, mbp, seedID, i, out, intOut, outRes.Trace, res)
 				res.Findings = append(res.Findings, f)
 				res.MutantSources = append(res.MutantSources, ast.Print(mutant))
 			}
@@ -250,6 +281,53 @@ func Validate(seedProg *ast.Program, seedID int64, o Options) *Result {
 		res.MutantSources = append(res.MutantSources, ast.Print(mutant))
 	}
 	return res
+}
+
+// perfFinding builds a Performance finding for a mutant whose compiled
+// run exceeded the step budget while its interpreted run finished. The
+// dedup signature carries the offending (hottest) method and the
+// slowdown-magnitude bucket, so two distinct performance bugs — say an
+// OSR recompile storm in one method and a code-motion pessimization in
+// another — no longer collapse into a single per-profile slot.
+func perfFinding(o Options, set bugs.Set, mbp *bytecode.Program, seedID int64, mutantID int, out, intOut *vm.Output, trace *vm.JITTrace, res *Result) Finding {
+	if trace == nil {
+		// Metrics were off, so the compiled run kept no trace; rerun
+		// once with tracing to attribute the slowdown.
+		cfg := o.Profile.VMConfigWithBugs(set)
+		cfg.StepLimit = o.StepLimit
+		cfg.RecordTrace = true
+		trace = vm.Run(cfg, mbp).Trace
+		res.Runs++
+	}
+	hot := "unknown"
+	if trace != nil && trace.HottestMethod() != "" {
+		hot = trace.HottestMethod()
+	}
+	bucket := stepRatioBucket(out.Steps, intOut.Steps)
+	return Finding{
+		Kind:      Performance,
+		Profile:   o.Profile.Name,
+		Component: hot,
+		Detail: fmt.Sprintf("compiled run exceeds step budget; interpreted run finishes (hot method %s, slowdown >= 2^%d)",
+			hot, bucket),
+		SeedID:    seedID,
+		MutantID:  mutantID,
+		Signature: signatureOf(Performance, o.Profile.Name, hot, fmt.Sprintf("ratio2^%d", bucket)),
+	}
+}
+
+// stepRatioBucket buckets compiled/interp step ratios at powers of two
+// so jitter in either step count cannot split one bug across
+// signatures.
+func stepRatioBucket(compiled, interp int64) int {
+	if interp <= 0 {
+		interp = 1
+	}
+	r := compiled / interp
+	if r < 1 {
+		return 0
+	}
+	return bits.Len64(uint64(r)) - 1
 }
 
 // newFinding classifies a discrepancy and optionally confirms it and
@@ -274,7 +352,7 @@ func newFinding(o Options, set bugs.Set, prog *ast.Program, seedID int64, mutant
 		bp := Compile(prog)
 		// Confirm: rerun and compare the normalized symptom (exact
 		// keys would be needlessly brittle for crash diagnostics).
-		again := runProgram(o, set, bp)
+		again := runProgram(o, set, bp).Output
 		if f.Kind == CrashFinding {
 			f.Confirmed = again.Term == vm.TermCrash &&
 				signatureOf(CrashFinding, o.Profile.Name, componentOf(again.Detail), again.Detail) == f.Signature
@@ -290,7 +368,7 @@ func newFinding(o Options, set bugs.Set, prog *ast.Program, seedID int64, mutant
 					reduced[other] = true
 				}
 			}
-			fixed := runProgram(o, reduced, bp)
+			fixed := runProgram(o, reduced, bp).Output
 			symptomGone := false
 			if f.Kind == CrashFinding {
 				symptomGone = fixed.Term != vm.TermCrash
@@ -313,7 +391,7 @@ func newFinding(o Options, set bugs.Set, prog *ast.Program, seedID int64, mutant
 func TraditionalDiscrepancy(seedBP *bytecode.Program, o Options) (bool, int) {
 	o = o.withDefaults()
 	set := o.bugSet()
-	ref := runProgram(o, set, seedBP)
+	ref := runProgram(o, set, seedBP).Output
 	runs := 1
 	if ref.Term == vm.TermTimeout {
 		return false, runs

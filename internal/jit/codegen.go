@@ -7,6 +7,7 @@ import (
 	"artemis/internal/bytecode"
 	"artemis/internal/jit/ir"
 	"artemis/internal/lang/ast"
+	"artemis/internal/vm"
 )
 
 // The machine model: compiled code runs on a flat frame of int64 slots
@@ -92,6 +93,9 @@ type Code struct {
 	frameSize int
 	ins       []minstr
 	deopts    []deoptSite
+	// stats is filled in by the Compiler after lowering; see
+	// vm.CompileStatsProvider.
+	stats *vm.CompileStats
 	// bug toggles consulted at execution time
 	execBugs execBugSet
 }
@@ -113,6 +117,9 @@ func (c *Code) IsOSR() bool { return c.osr }
 
 // Size implements vm.CompiledCode.
 func (c *Code) Size() int { return len(c.ins) }
+
+// CompileStats implements vm.CompileStatsProvider.
+func (c *Code) CompileStats() *vm.CompileStats { return c.stats }
 
 // lower translates SSA to machine code.
 func lower(f *ir.Func, tier int, bugSet bugs.Set) *Code {

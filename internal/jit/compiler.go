@@ -2,6 +2,7 @@ package jit
 
 import (
 	"fmt"
+	"time"
 
 	"artemis/internal/bugs"
 	"artemis/internal/vm"
@@ -35,6 +36,8 @@ type Compiler struct {
 	// Stats
 	Compilations int64
 	CrashCount   int64
+	// CompileNanos is total wall-clock time spent in Compile.
+	CompileNanos int64
 }
 
 // New creates a Compiler.
@@ -56,6 +59,8 @@ func (c *Compiler) MaxTier() int { return c.opts.MaxTier }
 // Compile implements vm.JITCompiler.
 func (c *Compiler) Compile(req vm.CompileRequest) (code vm.CompiledCode, cerr *vm.CompileError) {
 	c.Compilations++
+	start := time.Now()
+	defer func() { c.CompileNanos += time.Since(start).Nanoseconds() }()
 	defer func() {
 		if r := recover(); r != nil {
 			if cc, ok := r.(compilerCrash); ok {
@@ -93,35 +98,49 @@ func (c *Compiler) Compile(req vm.CompileRequest) (code vm.CompiledCode, cerr *v
 	}
 	f := buildSSA(req.Prog, req.MethodIndex, req.OSRLoopID, req.Profile, cfg)
 
+	// Per-pass optimization counts, keyed by the same pass names
+	// DebugDisablePass accepts; surfaced through the compile result as
+	// vm.CompileStats.
+	passOpts := map[string]int64{}
+	runPass := func(name string, pass func() int) {
+		passOpts[name] += int64(pass())
+	}
 	if tier >= 2 {
 		if DebugDisablePass != "valprop" {
-			localValueProp(f, bugSet)
+			runPass("valprop", func() int { return localValueProp(f, bugSet) })
 		}
 		if DebugDisablePass != "fold" && DebugDisablePass != "fold1" {
-			foldConstants(f, bugSet)
+			runPass("fold", func() int { return foldConstants(f, bugSet) })
 		}
 		if DebugDisablePass != "fold" && DebugDisablePass != "foldbr" {
-			foldBranches(f)
+			runPass("foldbr", func() int { return foldBranches(f) })
 		}
 		if DebugDisablePass != "gvn" {
-			gvn(f, bugSet)
+			runPass("gvn", func() int { return gvn(f, bugSet) })
 		}
 		if DebugDisablePass != "licm" {
-			loopOptimize(f, bugSet)
+			runPass("licm", func() int { return loopOptimize(f, bugSet) })
 		}
 		if DebugDisablePass != "bce" {
-			boundsCheckElim(f, bugSet)
+			runPass("bce", func() int { return boundsCheckElim(f, bugSet) })
 		}
 		if DebugDisablePass != "gcm" {
-			globalCodeMotion(f, bugSet)
+			runPass("gcm", func() int { return globalCodeMotion(f, bugSet) })
 		}
 		if DebugDisablePass != "fold" && DebugDisablePass != "fold2" {
-			foldConstants(f, bugSet)
+			runPass("fold", func() int { return foldConstants(f, bugSet) })
 		}
 		shapeChecks(f, bugSet)
 	}
 
-	return lower(f, tier, bugSet), nil
+	out := lower(f, tier, bugSet)
+	out.stats = &vm.CompileStats{
+		Tier:       out.Tier(),
+		OSR:        out.IsOSR(),
+		OptsByPass: passOpts,
+		Nanos:      time.Since(start).Nanoseconds(),
+	}
+	return out, nil
 }
 
 // DebugDisablePass, when set to a pass name ("valprop", "fold", "gvn",

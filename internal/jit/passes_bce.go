@@ -21,9 +21,12 @@ import (
 // the heap canary word — the corruption is then discovered by the
 // garbage collector, which is exactly how the paper's OpenJ9 crashes
 // present (Table 2: most OpenJ9 crashes are in the GC).
-func boundsCheckElim(f *ir.Func, bugSet bugs.Set) {
+//
+// It returns the number of bounds checks eliminated.
+func boundsCheckElim(f *ir.Func, bugSet bugs.Set) int {
 	f.ComputeLoops()
 	offByOne := bugSet.Has("oj-bce-offbyone")
+	eliminated := 0
 
 	for _, l := range f.Loops {
 		h := l.Header
@@ -88,6 +91,7 @@ func boundsCheckElim(f *ir.Func, bugSet bugs.Set) {
 				case ir.OpALoad:
 					if v.Args[0] == ref && v.Args[1] == iv {
 						v.Op = ir.OpALoadNoCheck
+						eliminated++
 					}
 				case ir.OpAStore:
 					if v.Args[0] == ref && v.Args[1] == iv {
@@ -96,9 +100,11 @@ func boundsCheckElim(f *ir.Func, bugSet bugs.Set) {
 						} else {
 							v.Op = ir.OpAStoreNoCheck
 						}
+						eliminated++
 					}
 				}
 			}
 		}
 	}
+	return eliminated
 }

@@ -11,8 +11,8 @@ import (
 // simplification (the "Global Constant Propagation" component).
 // Arithmetic is delegated to vm.EvalBinary so the folder can never
 // disagree with the interpreter — except where an injected bug says
-// otherwise.
-func foldConstants(f *ir.Func, bugSet bugs.Set) {
+// otherwise. It returns the number of values folded.
+func foldConstants(f *ir.Func, bugSet bugs.Set) int {
 	repl := map[*ir.Value]*ir.Value{}
 	newConst := func(b *ir.Block, v int64) *ir.Value {
 		c := f.NewValue(b, ir.OpConst)
@@ -45,6 +45,7 @@ func foldConstants(f *ir.Func, bugSet bugs.Set) {
 	}
 	f.ReplaceAll(repl)
 	f.RemoveDead()
+	return len(repl)
 }
 
 // simplify returns a replacement for v, or nil.
@@ -193,11 +194,14 @@ func simplify(f *ir.Func, v *ir.Value, resolve func(*ir.Value) *ir.Value,
 
 // foldBranches replaces BlockIf with constant controls by plain edges
 // (completing sparse conditional constant propagation's control part).
-func foldBranches(f *ir.Func) {
+// It returns the number of branches folded.
+func foldBranches(f *ir.Func) int {
+	folded := 0
 	for _, b := range f.Blocks {
 		if b.Kind != ir.BlockIf || b.Ctrl == nil || b.Ctrl.Op != ir.OpConst {
 			continue
 		}
+		folded++
 		takeIdx := 1
 		if b.Ctrl.Aux != 0 {
 			takeIdx = 0
@@ -216,4 +220,5 @@ func foldBranches(f *ir.Func) {
 	}
 	f.ComputeLoops() // re-derive reachability, loops, frequencies
 	f.RemoveDead()
+	return folded
 }

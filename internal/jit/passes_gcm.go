@@ -16,7 +16,9 @@ import (
 // estimates tie. The inner loop executes more iterations than the
 // outer loop body, so the increment is applied too many times and the
 // program output changes — a silent mis-compilation.
-func globalCodeMotion(f *ir.Func, bugSet bugs.Set) {
+//
+// It returns the number of values moved.
+func globalCodeMotion(f *ir.Func, bugSet bugs.Set) int {
 	f.ComputeLoops()
 	idom := f.Dominators()
 
@@ -56,6 +58,7 @@ func globalCodeMotion(f *ir.Func, bugSet bugs.Set) {
 	}
 
 	// Honest sinking.
+	moved := 0
 	for _, b := range f.Blocks {
 		for _, v := range append([]*ir.Value(nil), b.Values...) {
 			if !v.Pure() || v.Trapping() || v.Op == ir.OpPhi || v.Op == ir.OpParam || v == b.Ctrl {
@@ -75,6 +78,7 @@ func globalCodeMotion(f *ir.Func, bugSet bugs.Set) {
 			// Args must dominate the new position; they dominate b,
 			// and b dominates dst, so this holds automatically.
 			ir.MoveValueFront(v, dst)
+			moved++
 			// Note: moving after phis of dst; uses within dst are
 			// always later because SSA uses in the same block follow
 			// the def in our effect order only for effectful values.
@@ -84,8 +88,9 @@ func globalCodeMotion(f *ir.Func, bugSet bugs.Set) {
 	}
 
 	if bugSet.Has("hs-gcm-store-sink") {
-		buggyStoreSink(f)
+		moved += buggyStoreSink(f)
 	}
+	return moved
 }
 
 // buggyStoreSink implements the JDK-8288975 replica. It looks for
@@ -98,7 +103,7 @@ func globalCodeMotion(f *ir.Func, bugSet bugs.Set) {
 //
 // and, "because the frequency estimates tie", moves the whole
 // increment cluster into M's latch block, multiplying its executions.
-func buggyStoreSink(f *ir.Func) {
+func buggyStoreSink(f *ir.Func) int {
 	f.ComputeUses()
 	for _, l := range f.Loops {
 		// Find a direct child loop of l.
@@ -151,10 +156,11 @@ func buggyStoreSink(f *ir.Func) {
 				ir.MoveValue(load, latch)
 				ir.MoveValue(add, latch)
 				ir.MoveValue(v, latch)
-				return // one miscompiled cluster is plenty
+				return 3 // one miscompiled cluster is plenty
 			}
 		}
 	}
+	return 0
 }
 
 // latchOf returns a block inside l with a back edge to its header.

@@ -15,7 +15,9 @@ import (
 //     stale load replaces a fresh one.
 //   - hs-gvn-table (compile-time crash): a fictitious value-number
 //     table capacity assert on very large methods.
-func gvn(f *ir.Func, bugSet bugs.Set) {
+//
+// It returns the number of redundant values eliminated.
+func gvn(f *ir.Func, bugSet bugs.Set) int {
 	idom := f.Dominators()
 	order := f.DomPreorder(idom)
 
@@ -87,6 +89,7 @@ func gvn(f *ir.Func, bugSet bugs.Set) {
 	}
 	f.ReplaceAll(repl)
 	f.RemoveDead()
+	return len(repl)
 }
 
 // id resolves replacement chains and returns a stable value id for

@@ -14,7 +14,9 @@ import (
 //   - oj-vector-legality (crash): the vectorizer legality check (run
 //     here, where loop structure is known) asserts on loops with many
 //     array stores.
-func loopOptimize(f *ir.Func, bugSet bugs.Set) {
+//
+// It returns the number of values hoisted out of loops.
+func loopOptimize(f *ir.Func, bugSet bugs.Set) int {
 	f.ComputeLoops()
 
 	for _, l := range f.Loops {
@@ -50,10 +52,12 @@ func loopOptimize(f *ir.Func, bugSet bugs.Set) {
 			}
 		}
 	}
+	hoists := 0
 	for _, l := range loops {
-		hoistLoop(f, l)
+		hoists += hoistLoop(f, l)
 	}
 	f.RemoveDead()
+	return hoists
 }
 
 func loopHasOp(f *ir.Func, l *ir.Loop, op ir.Op) bool {
@@ -90,10 +94,10 @@ func preheaderOf(f *ir.Func, l *ir.Loop) *ir.Block {
 	return pre
 }
 
-func hoistLoop(f *ir.Func, l *ir.Loop) {
+func hoistLoop(f *ir.Func, l *ir.Loop) int {
 	pre := preheaderOf(f, l)
 	if pre == nil {
-		return
+		return 0
 	}
 
 	// Interference summary for field-load hoisting.
@@ -155,6 +159,7 @@ func hoistLoop(f *ir.Func, l *ir.Loop) {
 			}
 		}
 	}
+	return len(hoisted)
 }
 
 // shapeChecks hosts compile-time assertion bugs that are pure shape

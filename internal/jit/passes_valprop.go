@@ -10,7 +10,8 @@ import (
 // value. Calls clobber all fields — except under the injected
 // oj-lvp-across-call defect, which forwards straight across calls and
 // so resurrects stale values whenever the callee writes the field.
-func localValueProp(f *ir.Func, bugSet bugs.Set) {
+// It returns the number of loads forwarded (for pass statistics).
+func localValueProp(f *ir.Func, bugSet bugs.Set) int {
 	acrossCalls := bugSet.Has("oj-lvp-across-call")
 	repl := map[*ir.Value]*ir.Value{}
 	for _, b := range f.Blocks {
@@ -34,4 +35,5 @@ func localValueProp(f *ir.Func, bugSet bugs.Set) {
 	}
 	f.ReplaceAll(repl)
 	f.RemoveDead()
+	return len(repl)
 }

@@ -28,12 +28,19 @@ type Options struct {
 }
 
 // Reduce returns the smallest program found that satisfies keep.
-// The input is not modified. Reduce assumes keep(p) is true.
+// The input is not modified. The precondition keep(p) is verified
+// up front: if the input is not interesting to begin with, nothing
+// the reducer keeps could be either (every accepted edit re-checks
+// keep), so Reduce returns an unchanged clone instead of shrinking
+// against a vacuous predicate.
 func Reduce(p *ast.Program, keep Predicate, opts Options) *ast.Program {
-	if opts.MaxRounds == 0 {
+	if opts.MaxRounds <= 0 {
 		opts.MaxRounds = 20
 	}
 	cur := ast.CloneProgram(p)
+	if !keep(cur) {
+		return cur
+	}
 	for round := 0; round < opts.MaxRounds; round++ {
 		changed := false
 		if tryEach(cur, keep, removeMethodCandidates) {

@@ -30,6 +30,7 @@ type Heap struct {
 	free       []int
 	limitWords int64
 	usedWords  int64
+	peakWords  int64 // high-water mark of usedWords
 	allocs     int64 // allocations since last GC
 
 	// gcStats
@@ -46,6 +47,9 @@ func NewHeap(limitWords int64) *Heap {
 
 // Used returns the payload words currently allocated.
 func (h *Heap) Used() int64 { return h.usedWords }
+
+// PeakWords returns the allocation high-water mark in payload words.
+func (h *Heap) PeakWords() int64 { return h.peakWords }
 
 // NumObjects returns the number of live (non-freed) slots.
 func (h *Heap) NumObjects() int {
@@ -78,6 +82,9 @@ func (h *Heap) Alloc(elem ast.Kind, n int64) int64 {
 	handle := int64(idx + 1)
 	a.Data[n] = canaryFor(handle)
 	h.usedWords += n + 1
+	if h.usedWords > h.peakWords {
+		h.peakWords = h.usedWords
+	}
 	h.allocs++
 	return handle
 }

@@ -102,6 +102,26 @@ type CompileRequest struct {
 	Recompiles int64
 }
 
+// CompileStats describes the work one compilation performed: which
+// optimization passes fired how often, and how long compilation took.
+// Compiled code surfaces it through the optional CompileStatsProvider
+// interface; the VM folds it into ExecStats when stats collection is
+// on. OptsByPass is deterministic; Nanos is wall clock and excluded
+// from deterministic exports.
+type CompileStats struct {
+	Tier       int
+	OSR        bool
+	OptsByPass map[string]int64
+	Nanos      int64
+}
+
+// CompileStatsProvider is implemented by CompiledCode values that can
+// report per-compilation statistics. It is optional so simple or
+// test compilers need not bother.
+type CompileStatsProvider interface {
+	CompileStats() *CompileStats
+}
+
 // CompileError reports a failed compilation. Compiler crashes
 // (assertion failures etc., including injected bugs) are VM crashes;
 // the paper observes most JIT crashes happen while compiling.

@@ -33,6 +33,14 @@ type JITTrace struct {
 	NTotal  int // total calls (Vectors is capped)
 	maxKeep int
 	hash    uint64
+
+	// maxTemp / maxTempMethod track the hottest temperature (and the
+	// method that first reached it) incrementally over *every* added
+	// vector — including the ones beyond maxKeep that Vectors drops —
+	// so truncation can never misreport a tiered run as
+	// interpreter-only.
+	maxTemp       int
+	maxTempMethod string
 }
 
 func newJITTrace(maxKeep int) *JITTrace {
@@ -42,6 +50,12 @@ func newJITTrace(maxKeep int) *JITTrace {
 func (t *JITTrace) add(v TempVector) {
 	if len(t.Vectors) < t.maxKeep {
 		t.Vectors = append(t.Vectors, v)
+	}
+	for _, tm := range v.Temps {
+		if tm > t.maxTemp {
+			t.maxTemp = tm
+			t.maxTempMethod = v.Method
+		}
 	}
 	t.NTotal++
 	h := fnv.New64a()
@@ -78,15 +92,12 @@ func (t *JITTrace) String() string {
 }
 
 // MaxTemp returns the hottest temperature observed anywhere in the
-// trace (0 = the run never left the interpreter).
-func (t *JITTrace) MaxTemp() int {
-	m := 0
-	for _, v := range t.Vectors {
-		for _, tm := range v.Temps {
-			if tm > m {
-				m = tm
-			}
-		}
-	}
-	return m
-}
+// trace (0 = the run never left the interpreter). It is maintained
+// incrementally by add, so it covers the full run even when Vectors
+// was truncated at maxKeep.
+func (t *JITTrace) MaxTemp() int { return t.maxTemp }
+
+// HottestMethod returns the name of the method that first reached
+// MaxTemp ("" when the run never left the interpreter). Like MaxTemp
+// it is truncation-proof.
+func (t *JITTrace) HottestMethod() string { return t.maxTempMethod }

@@ -38,6 +38,10 @@ type Config struct {
 
 	// RecordTrace enables JIT-trace (temperature vector) recording.
 	RecordTrace bool
+	// CollectStats enables ExecStats collection (Result.Stats). The
+	// disabled path costs one nil check per compilation/deopt/GC event
+	// and nothing per interpreted step.
+	CollectStats bool
 	// TraceLimit caps recorded vectors (default 4096).
 	TraceLimit int
 	// MaxOutputLines caps retained print lines (default 256); the
@@ -121,7 +125,8 @@ func (st *MethodState) osrTier(loopID int) int { return st.osrTiers[loopID] }
 // the harness and benchmarks consume.
 type Result struct {
 	Output *Output
-	Trace  *JITTrace // nil unless Config.RecordTrace
+	Trace  *JITTrace  // nil unless Config.RecordTrace
+	Stats  *ExecStats // nil unless Config.CollectStats
 
 	Compilations int64 // total JIT compilations performed
 	Deopts       int64 // total uncommon-trap deoptimizations
@@ -139,13 +144,15 @@ type VM struct {
 	heap   *Heap
 	out    *Output
 	trace  *JITTrace
+	stats  *ExecStats
 
 	methods []*MethodState
 	policy  Policy
 
-	steps     int64
-	stepLimit int64
-	depth     int
+	steps         int64
+	compiledSteps int64 // subset of steps charged via Env.Step
+	stepLimit     int64
+	depth         int
 
 	roots   []func(yield func(int64)) // active frame root scanners
 	unwound *Unwind                   // sticky first unwind (for crash precedence)
@@ -171,6 +178,9 @@ func New(cfg Config, prog *bytecode.Program) *VM {
 	}
 	if cfg.RecordTrace {
 		vm.trace = newJITTrace(cfg.TraceLimit)
+	}
+	if cfg.CollectStats {
+		vm.stats = &ExecStats{}
 	}
 	for i, m := range prog.Methods {
 		st := &MethodState{
@@ -225,6 +235,17 @@ func (vm *VM) Run() *Result {
 		OSREntries:   vm.osrEntries,
 		GCRuns:       vm.heap.Collections,
 		Steps:        vm.steps,
+	}
+	if vm.stats != nil {
+		// Split the abstract step budget by execution mode: Env.Step
+		// is the only path compiled code charges through, so the
+		// interpreter share is the remainder — no per-step accounting
+		// is ever needed on the interpreter hot loop.
+		vm.stats.CompiledSteps = vm.compiledSteps
+		vm.stats.InterpSteps = vm.steps - vm.compiledSteps
+		vm.stats.GCCycles = vm.heap.Collections
+		vm.stats.PeakHeapWords = vm.heap.PeakWords()
+		res.Stats = vm.stats
 	}
 	vm.out.Steps = vm.steps
 	return res
@@ -385,8 +406,14 @@ func (vm *VM) ensureCompiled(st *MethodState, tier int) (CompiledCode, *Unwind) 
 			// like a fatal error in a JVM compiler thread.
 			return nil, &Unwind{Crash: fmt.Sprintf("JIT compiler crash (tier %d, method %s): %s", tier, st.Name, cerr.Msg)}
 		}
+		if vm.stats != nil {
+			vm.stats.FailedCompilations++
+		}
 		st.failedTiers[tier] = true
 		return nil, nil
+	}
+	if vm.stats != nil {
+		vm.stats.recordCompile(code, code.Tier(), false)
 	}
 	st.compiled[tier] = code
 	return code, nil
@@ -420,9 +447,15 @@ func (vm *VM) ensureOSR(st *MethodState, loopID, tier int) (CompiledCode, *Unwin
 			return nil, &Unwind{Crash: fmt.Sprintf("JIT compiler crash (OSR tier %d, method %s, loop %d): %s", tier, st.Name, loopID, cerr.Msg)}
 		}
 		// Benign failure: remember the tier so we stop retrying.
+		if vm.stats != nil {
+			vm.stats.FailedCompilations++
+		}
 		st.osrTiers[loopID] = tier
 		st.osr[loopID] = nil
 		return nil, nil
+	}
+	if vm.stats != nil {
+		vm.stats.recordCompile(code, code.Tier(), true)
 	}
 	st.osrTiers[loopID] = tier
 	st.osr[loopID] = code
@@ -453,6 +486,9 @@ func (vm *VM) runCompiled(st *MethodState, code CompiledCode, args []int64, tv *
 func (vm *VM) handleDeopt(st *MethodState, d *Deopt, tv *TempVector) (int64, *Unwind) {
 	vm.deopts++
 	st.DeoptCount++
+	if vm.stats != nil {
+		vm.stats.recordDeopt(d.Reason)
+	}
 	if st.DeoptCount >= vm.cfg.DeoptLimit {
 		st.specDisabled = true
 	}
@@ -487,9 +523,12 @@ func (vm *VM) SetField(i int, v int64) { vm.fields[i] = v }
 // Print implements Env.
 func (vm *VM) Print(kind ast.Kind, v int64) { vm.out.addLine(formatValue(kind, v)) }
 
-// Step implements Env: consume abstract execution budget.
+// Step implements Env: consume abstract execution budget. Only
+// compiled code charges through here (the interpreter counts inline),
+// which is what lets ExecStats split steps by execution mode for free.
 func (vm *VM) Step(n int64) *Unwind {
 	vm.steps += n
+	vm.compiledSteps += n
 	if vm.steps > vm.stepLimit {
 		return vm.timeoutUnwind()
 	}
