@@ -6,17 +6,23 @@
 GO      ?= go
 TIMEOUT ?= 9000s
 
-.PHONY: all build vet test race bench ci
+.PHONY: all build fmt vet test race resume bench ci
 
 all: ci
 
 build:
 	$(GO) build ./...
 
+# gofmt -l prints nothing on success; any output fails the gate.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 vet:
 	$(GO) vet ./...
 
-# Tier-1 gate: everything must build and every test must pass.
+# Tier-1 gate: everything must build and every test must pass
+# (./... covers internal/journal and the resume/corpus suite).
 test: build
 	$(GO) test -timeout $(TIMEOUT) ./...
 
@@ -26,9 +32,18 @@ test: build
 race:
 	$(GO) test -race -timeout $(TIMEOUT) ./internal/harness/ .
 
+# Resume-determinism gate: interrupt+resume must be byte-identical to
+# an uninterrupted campaign at workers 1/2/4, including after a torn
+# final journal record. Part of `race` coverage too; this target runs
+# just the gate for quick iteration on persistence code.
+resume:
+	$(GO) test -timeout $(TIMEOUT) \
+		-run 'TestResumeDeterminism|TestResumeAfterTornRecord|TestCorpus' \
+		./internal/journal/ ./internal/harness/
+
 # One-shot pass over every benchmark, mostly to prove they still run;
 # use bigger -benchtime for real measurements.
 bench:
 	$(GO) test -bench . -benchtime 1x -timeout $(TIMEOUT) .
 
-ci: vet test race
+ci: fmt vet test race resume

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"testing"
@@ -191,6 +192,41 @@ func BenchmarkCampaignMetricsOverhead(b *testing.B) {
 				if metrics && stats.Metrics == nil {
 					b.Fatal("metrics run produced no CampaignMetrics")
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkCampaignJournalOverhead runs the same workload with the
+// seed-outcome journal off and on. Journaling serializes one JSON
+// record per merged seed on the reducer goroutine and flushes it —
+// O(seeds) work against O(seeds × mutants × runs) VM execution, so
+// the cost must be in the noise next to the metrics overhead above.
+func BenchmarkCampaignJournalOverhead(b *testing.B) {
+	prof := mustProfile(b, "openj9like")
+	for _, journaled := range []bool{false, true} {
+		name := "journal=off"
+		if journaled {
+			name = "journal=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := harness.CampaignOptions{
+					Options: harness.Options{
+						Profile: prof, MaxIter: 6, Buggy: true,
+						CollectMetrics: true,
+					},
+					Seeds:   30,
+					Workers: 1,
+				}
+				if journaled {
+					opts.JournalPath = filepath.Join(b.TempDir(), "bench.journal")
+				}
+				stats, err := harness.RunResumableCampaign(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(stats.Throughput(), "vm-runs/s")
 			}
 		})
 	}

@@ -11,10 +11,15 @@
 //	artemis -selfcheck -seeds 50                   # correct VM: expect 0 findings
 //	artemis -workers 8 -seeds 1000                 # 8 parallel seed workers
 //	artemis -metrics out.json -seeds 200           # exploration-coverage metrics
+//	artemis -journal run.journal -seeds 100000     # crash-safe campaign
+//	artemis -journal run.journal -resume ...       # continue after a crash
+//	artemis -corpus corpus/ -seeds 1000            # persist + auto-reduce findings
 //
 // Campaign output — including the -metrics JSON — is byte-identical
 // for any -workers value: seeds run in parallel but merge
-// deterministically in seed order.
+// deterministically in seed order. The same holds across -resume: an
+// interrupted campaign resumed from its journal reproduces exactly
+// the stats an uninterrupted run would have produced.
 package main
 
 import (
@@ -43,9 +48,17 @@ func main() {
 	selfcheck := flag.Bool("selfcheck", false, "run against the CORRECT VM; any finding is a bug in this repository")
 	examples := flag.Bool("examples", false, "print example bug-triggering mutants")
 	metricsOut := flag.String("metrics", "", "collect execution metrics and write the JSON report to this file (byte-identical for any -workers value)")
+	journalPath := flag.String("journal", "", "stream per-seed outcomes to this crash-safe journal file")
+	resume := flag.Bool("resume", false, "resume an interrupted campaign from -journal, skipping already-journaled seeds")
+	corpusDir := flag.String("corpus", "", "persist every novel finding (seed, mutant, auto-reduced reproducer) under this directory")
+	reduceBudget := flag.Int("reducebudget", 0, "keep-predicate evaluations per finding for in-campaign auto-reduction (0 = default, negative disables)")
 	flag.Parse()
 
 	collectMetrics := *metricsOut != ""
+	persisting := *journalPath != "" || *corpusDir != ""
+	if *resume && *journalPath == "" {
+		fatal(fmt.Errorf("-resume requires -journal"))
+	}
 
 	var progress func(harness.Progress)
 	if !*quiet {
@@ -54,6 +67,9 @@ func main() {
 
 	switch {
 	case *table1 || *table2:
+		if persisting {
+			fatal(fmt.Errorf("-journal/-corpus apply to single-campaign mode, not table sweeps"))
+		}
 		var all []*harness.CampaignStats
 		for _, prof := range profiles.All() {
 			fmt.Fprintf(os.Stderr, "campaign: %s (%d seeds x %d mutants)...\n", prof.Name, *seeds, *iters)
@@ -76,6 +92,9 @@ func main() {
 		}
 		writeMetrics(*metricsOut, all)
 	case *table4:
+		if persisting {
+			fatal(fmt.Errorf("-journal/-corpus apply to single-campaign mode, not table sweeps"))
+		}
 		prof, err := profiles.Get("openj9like")
 		if err != nil {
 			fatal(err)
@@ -99,7 +118,7 @@ func main() {
 			fatal(err)
 		}
 		buggy := !*selfcheck
-		stats := harness.RunCampaign(harness.CampaignOptions{
+		stats, err := harness.RunResumableCampaign(harness.CampaignOptions{
 			Options: harness.Options{
 				Profile: prof, MaxIter: *iters, Buggy: buggy,
 				StepLimit: *steps, ConfirmAndFix: *confirm,
@@ -107,7 +126,12 @@ func main() {
 			},
 			Seeds: *seeds, SeedBase: *seedBase,
 			Workers: *workers, SeedTimeout: *seedTimeout, Progress: progress,
+			JournalPath: *journalPath, Resume: *resume,
+			CorpusDir: *corpusDir, ReduceBudget: *reduceBudget,
 		})
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Printf("profile %s: %d seeds, %d mutants, %d VM runs in %s (%.2f runs/s)\n",
 			stats.Profile, stats.Seeds, stats.Mutants, stats.Runs,
 			stats.Elapsed.Round(1e6), stats.Throughput())

@@ -3,10 +3,16 @@
 // workflow).
 //
 // The predicate compares the program's behaviour on the seeded-defect
-// VM against pure interpretation:
+// VM against pure interpretation (built by harness.KeepConfig — the
+// same predicates the campaign auto-reducer uses):
 //
 //	-mode diff   keep programs whose compiled output differs (default)
 //	-mode crash  keep programs that crash the VM
+//
+// Exit status: 0 on success, 1 when the input program does not
+// trigger the finding at all (the keep(original) precondition — there
+// is nothing to reduce, and proceeding would shrink toward an
+// unrelated program), 2 on usage errors.
 //
 // Usage:
 //
@@ -23,7 +29,6 @@ import (
 	"artemis/internal/lang/parser"
 	"artemis/internal/profiles"
 	"artemis/internal/reduce"
-	"artemis/internal/vm"
 )
 
 func main() {
@@ -50,41 +55,21 @@ func main() {
 		fatal(err)
 	}
 
-	runBoth := func(p *ast.Program) (*vm.Output, *vm.Output) {
-		bp := harness.Compile(p)
-		jit := prof.VMConfig(true)
-		jit.StepLimit = *steps
-		jitOut := vm.Run(jit, bp).Output
-		ref := prof.InterpreterConfig()
-		ref.StepLimit = *steps
-		refOut := vm.Run(ref, bp).Output
-		return jitOut, refOut
+	kc := harness.KeepConfig{Profile: prof, Bugs: prof.BugSet(), StepLimit: *steps}
+	keep, err := kc.ForMode(*mode)
+	if err != nil {
+		fatal(err)
 	}
 
-	var keep reduce.Predicate
-	switch *mode {
-	case "crash":
-		keep = func(p *ast.Program) bool {
-			jitOut, _ := runBoth(p)
-			return jitOut.Term == vm.TermCrash
-		}
-	case "diff":
-		keep = func(p *ast.Program) bool {
-			jitOut, refOut := runBoth(p)
-			if jitOut.Term == vm.TermTimeout || refOut.Term == vm.TermTimeout {
-				return false
-			}
-			return !jitOut.Equivalent(refOut)
-		}
-	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
-	}
-
-	if !keep(prog) {
-		fatal(fmt.Errorf("input does not satisfy the %s predicate on %s", *mode, prof.Name))
-	}
 	before := ast.ProgramSize(prog)
-	small := reduce.Reduce(prog, keep, reduce.Options{MaxRounds: *rounds})
+	small, ok := reduce.ReduceChecked(prog, keep, reduce.Options{MaxRounds: *rounds})
+	if !ok {
+		fmt.Fprintf(os.Stderr,
+			"mjreduce: %s never triggers the %q finding on profile %s — nothing to reduce\n"+
+				"mjreduce: (check -profile, -mode and -steps match how the finding was produced)\n",
+			flag.Arg(0), *mode, prof.Name)
+		os.Exit(1)
+	}
 	fmt.Fprintf(os.Stderr, "mjreduce: %d -> %d statements\n", before, ast.ProgramSize(small))
 	fmt.Print(ast.Print(small))
 }

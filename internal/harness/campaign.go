@@ -43,6 +43,31 @@ type CampaignOptions struct {
 	// seed order, from a single goroutine. See StderrProgress.
 	Progress func(Progress)
 
+	// JournalPath, when non-empty, streams every merged seed outcome
+	// to an append-only, checksummed journal (internal/journal), making
+	// the campaign crash-safe: work merged before a crash, OOM, or
+	// SIGKILL is never lost. Persistence requires the error-returning
+	// RunResumableCampaign entry point.
+	JournalPath string
+	// Resume continues an interrupted campaign from JournalPath:
+	// already-journaled seeds are not re-run — their cached outcomes
+	// replay through the deterministic seed-order merger — so the
+	// final CampaignStats and -metrics JSON are byte-identical to an
+	// uninterrupted run at any worker count. The journal's header must
+	// fingerprint the same campaign configuration. Resuming a
+	// non-existent journal starts fresh, so Resume is safe to set
+	// unconditionally.
+	Resume bool
+	// CorpusDir, when non-empty, persists a corpus entry (seed source,
+	// mutant source, auto-reduced reproducer, finding detail) for each
+	// novel finding signature, as it is first seen. Entries are
+	// idempotent across resumes. See corpus.go for the layout.
+	CorpusDir string
+	// ReduceBudget caps keep-predicate evaluations per finding during
+	// in-campaign auto-reduction (0 = DefaultReduceBudget; negative
+	// disables reduction, corpus entries then hold only the originals).
+	ReduceBudget int
+
 	// seedHook runs at the start of each seed (test-only: panic and
 	// timeout injection).
 	seedHook func(idx int, seedID int64)
@@ -154,8 +179,25 @@ func (cs *CampaignStats) Throughput() float64 {
 // RunCampaign drives a full campaign over a pool of Workers
 // goroutines (see parallel.go). Per-seed work runs concurrently;
 // outcomes are merged in seed order, so the returned stats are
-// byte-identical for any worker count.
+// byte-identical for any worker count. Campaigns that persist state
+// (JournalPath/CorpusDir) should call RunResumableCampaign instead;
+// here a persistence failure panics.
 func RunCampaign(opts CampaignOptions) *CampaignStats {
+	stats, err := RunResumableCampaign(opts)
+	if err != nil {
+		panic(fmt.Sprintf("harness: campaign persistence failed: %v (use RunResumableCampaign to handle this)", err))
+	}
+	return stats
+}
+
+// RunResumableCampaign is RunCampaign plus campaign persistence: it
+// opens (or resumes) the seed-outcome journal and the findings corpus
+// when configured, replays cached outcomes, and reports persistence
+// failures as an error alongside the stats. A mid-campaign journal or
+// corpus write failure does not abort the campaign — the in-memory
+// stats still complete — but the first such failure is returned so
+// callers know crash-safety was lost.
+func RunResumableCampaign(opts CampaignOptions) (*CampaignStats, error) {
 	opts.Options = opts.Options.withDefaults()
 	workers := opts.Workers
 	if workers <= 0 {
@@ -163,9 +205,32 @@ func RunCampaign(opts CampaignOptions) *CampaignStats {
 	}
 	start := time.Now()
 	m := newMerger(opts, start)
-	runCampaignParallel(opts, workers, m)
+	var cached map[int]seedOutcome
+	if opts.JournalPath != "" {
+		var err error
+		cached, m.journal, err = openCampaignJournal(opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if opts.CorpusDir != "" {
+		c, err := newCorpusWriter(opts)
+		if err != nil {
+			if m.journal != nil {
+				m.journal.Close()
+			}
+			return nil, err
+		}
+		m.corpus = c
+	}
+	runCampaignParallel(opts, workers, m, cached)
 	m.stats.Elapsed = time.Since(start)
-	return m.stats
+	if m.journal != nil {
+		if err := m.journal.Close(); err != nil && m.persistErr == nil {
+			m.persistErr = err
+		}
+	}
+	return m.stats, m.persistErr
 }
 
 // ---------------------------------------------------------------------------

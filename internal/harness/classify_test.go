@@ -21,6 +21,41 @@ func TestComponentOf(t *testing.T) {
 	}
 }
 
+// TestComponentOfPrecedence locks in the documented most-specific-
+// first classification for crash details carrying several markers.
+// The order is part of the signature contract: re-ordering it would
+// re-key every crash signature in existing journals and corpora.
+func TestComponentOfPrecedence(t *testing.T) {
+	cases := []struct{ name, detail, want string }{
+		{"assertion beats SIGSEGV",
+			"assertion failure in Register Allocation: spill slot clash averted SIGSEGV at pc 12",
+			"Register Allocation"},
+		{"assertion beats GC corruption",
+			"fatal error: GC: heap corruption detected; root cause assertion failure in Escape Analysis: field store escaped",
+			"Escape Analysis"},
+		{"assertion beats both",
+			"assertion failure in Loop Peeling: SIGSEGV would follow, GC: heap corruption imminent",
+			"Loop Peeling"},
+		{"GC corruption beats SIGSEGV",
+			"fatal error: GC: heap corruption detected on object 3 while handling SIGSEGV",
+			"Garbage Collection"},
+		{"GC corruption beats uncommon trap",
+			"GC: heap corruption detected in uncommon trap stub frame",
+			"Garbage Collection"},
+		{"SIGSEGV alone",
+			"fatal error: SIGSEGV executing compiled code",
+			"Code Execution"},
+		{"assertion without colon consumes rest",
+			"assertion failure in Value Numbering",
+			"Value Numbering"},
+	}
+	for _, tc := range cases {
+		if got := componentOf(tc.detail); got != tc.want {
+			t.Errorf("%s: componentOf(%q) = %q, want %q", tc.name, tc.detail, got, tc.want)
+		}
+	}
+}
+
 func TestSignatureNormalization(t *testing.T) {
 	a := signatureOf(CrashFinding, "p", "Garbage Collection",
 		"GC: heap corruption detected on object 12: canary 0xbadbeef != 0x5ca1ab1d")

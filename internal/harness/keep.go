@@ -1,0 +1,151 @@
+// Reduction predicates. Reducing a bug-triggering program only makes
+// sense under a predicate that re-validates the finding on every
+// candidate; this file is the single place such predicates are built,
+// shared by cmd/mjreduce (interactive reduction) and the campaign
+// auto-reducer (corpus.go), so the two can never drift apart on what
+// "still triggers the bug" means.
+
+package harness
+
+import (
+	"fmt"
+
+	"artemis/internal/bugs"
+	"artemis/internal/lang/ast"
+	"artemis/internal/profiles"
+	"artemis/internal/reduce"
+	"artemis/internal/vm"
+)
+
+// KeepConfig builds re-validation predicates for reduction. Each
+// predicate evaluation costs two VM runs (the seeded-defect VM with
+// its default JIT policy, and pure interpretation as the reference),
+// each bounded by StepLimit.
+type KeepConfig struct {
+	Profile *profiles.Profile
+	// Bugs is the defect set the predicate hunts in; nil reduces
+	// against the correct VM (only useful for harness self-tests).
+	Bugs bugs.Set
+	// StepLimit bounds each predicate run (0 = the Options default).
+	StepLimit int64
+}
+
+func (kc KeepConfig) limit() int64 {
+	if kc.StepLimit != 0 {
+		return kc.StepLimit
+	}
+	return Options{}.withDefaults().StepLimit
+}
+
+// runJIT executes p on the seeded-defect VM with its default policy.
+func (kc KeepConfig) runJIT(p *ast.Program) *vm.Output {
+	cfg := kc.Profile.VMConfigWithBugs(kc.Bugs)
+	cfg.StepLimit = kc.limit()
+	return vm.Run(cfg, Compile(p)).Output
+}
+
+// runBoth executes p on the seeded-defect VM and the interpreter.
+func (kc KeepConfig) runBoth(p *ast.Program) (jit, interp *vm.Output) {
+	bp := Compile(p)
+	jitCfg := kc.Profile.VMConfigWithBugs(kc.Bugs)
+	jitCfg.StepLimit = kc.limit()
+	jit = vm.Run(jitCfg, bp).Output
+	intCfg := kc.Profile.InterpreterConfig()
+	intCfg.StepLimit = kc.limit()
+	interp = vm.Run(intCfg, bp).Output
+	return jit, interp
+}
+
+// Crash keeps programs that crash the seeded-defect VM (any crash).
+func (kc KeepConfig) Crash() reduce.Predicate {
+	return func(p *ast.Program) bool {
+		return kc.runJIT(p).Term == vm.TermCrash
+	}
+}
+
+// Diff keeps programs whose seeded-defect output differs from the
+// interpreted reference (timeouts are inconclusive and never kept).
+func (kc KeepConfig) Diff() reduce.Predicate {
+	return func(p *ast.Program) bool {
+		jit, interp := kc.runBoth(p)
+		if jit.Term == vm.TermTimeout || interp.Term == vm.TermTimeout {
+			return false
+		}
+		return !jit.Equivalent(interp)
+	}
+}
+
+// CrashSignature keeps programs that crash with exactly the given
+// dedup signature — the predicate the campaign auto-reducer uses so a
+// reduced reproducer provably still triggers the same finding.
+func (kc KeepConfig) CrashSignature(sig string) reduce.Predicate {
+	return func(p *ast.Program) bool {
+		out := kc.runJIT(p)
+		if out.Term != vm.TermCrash {
+			return false
+		}
+		return signatureOf(CrashFinding, kc.Profile.Name, componentOf(out.Detail), out.Detail) == sig
+	}
+}
+
+// MiscompileSignature keeps programs whose seeded-defect run diverges
+// from interpretation with exactly the given mis-compilation
+// signature. The interpreted run stands in for the original seed
+// reference: JoNM mutants are semantics-preserving, so for a genuine
+// mis-compilation the two references agree.
+func (kc KeepConfig) MiscompileSignature(sig string) reduce.Predicate {
+	return func(p *ast.Program) bool {
+		jit, interp := kc.runBoth(p)
+		if jit.Term == vm.TermTimeout || interp.Term == vm.TermTimeout {
+			return false
+		}
+		if jit.Equivalent(interp) {
+			return false
+		}
+		detail := fmt.Sprintf("%s-vs-%s", interp.Term, jit.Term)
+		return signatureOf(Miscompilation, kc.Profile.Name, "", detail) == sig
+	}
+}
+
+// ForMode maps a cmd/mjreduce -mode value to its predicate.
+func (kc KeepConfig) ForMode(mode string) (reduce.Predicate, error) {
+	switch mode {
+	case "crash":
+		return kc.Crash(), nil
+	case "diff":
+		return kc.Diff(), nil
+	default:
+		return nil, fmt.Errorf("unknown mode %q (want diff or crash)", mode)
+	}
+}
+
+// keepForFinding returns the signature-preserving predicate for an
+// auto-reduced finding, or nil when the finding kind has no cheap
+// re-validation predicate (performance findings need timeout-priced
+// runs per candidate, far too slow for an in-campaign stage).
+func keepForFinding(kc KeepConfig, f Finding) reduce.Predicate {
+	switch f.Kind {
+	case CrashFinding:
+		return kc.CrashSignature(f.Signature)
+	case Miscompilation:
+		return kc.MiscompileSignature(f.Signature)
+	default:
+		return nil
+	}
+}
+
+// budgetedPredicate caps how many times keep may be evaluated; once
+// the budget is spent every candidate is rejected, so an in-flight
+// reduction winds down in O(current candidate list) instead of
+// stalling campaign throughput. Count-based (not wall-clock), so a
+// resumed campaign reduces identically to an uninterrupted one.
+func budgetedPredicate(keep reduce.Predicate, evals int) reduce.Predicate {
+	remaining := evals
+	return func(p *ast.Program) bool {
+		if remaining <= 0 {
+			return false
+		}
+		remaining--
+		return keep(p)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"artemis/internal/fuzz"
+	"artemis/internal/journal"
 )
 
 // ---------------------------------------------------------------------------
@@ -27,12 +28,16 @@ import (
 
 // seedOutcome carries everything one seed contributes to the campaign:
 // its validation result plus the comparative-baseline verdict. It is
-// the unit flowing from workers to the reducer.
+// the unit flowing from workers to the reducer — and, JSON-encoded as
+// a seedRecord (persist.go), the unit of journal durability.
 type seedOutcome struct {
 	idx      int // 0-based seed index (merge order key)
 	res      *Result
 	tradHit  bool
 	tradRuns int
+	// cached marks an outcome replayed from the journal on resume: it
+	// is merged like any other but not journaled again.
+	cached bool
 }
 
 // runSeed executes one seed end to end: generate, validate (Algorithm
@@ -123,6 +128,17 @@ type merger struct {
 	seen  map[string]int // signature -> index into Distinct
 	start time.Time
 	done  int
+
+	// Persistence (both optional). journal receives every freshly
+	// computed outcome before it folds into the stats; corpus receives
+	// every first-seen finding signature. Both run on the reducer
+	// goroutine, in seed order, so journals are contiguous prefixes of
+	// the campaign and corpus entry creation is deterministic. The
+	// first write failure is retained, not fatal: losing persistence
+	// must not lose the in-memory campaign too.
+	journal    *journal.Writer
+	corpus     *corpusWriter
+	persistErr error
 }
 
 func newMerger(opts CampaignOptions, start time.Time) *merger {
@@ -138,6 +154,11 @@ func newMerger(opts CampaignOptions, start time.Time) *merger {
 func (m *merger) add(out seedOutcome) {
 	res := out.res
 	m.done++
+	if m.journal != nil && !out.cached {
+		if err := appendSeedRecord(m.journal, m.opts, out); err != nil && m.persistErr == nil {
+			m.persistErr = err
+		}
+	}
 	m.stats.Runs += res.Runs + out.tradRuns
 	m.stats.Mutants += res.Mutants
 	if res.Metrics != nil {
@@ -177,6 +198,16 @@ func (m *merger) add(out seedOutcome) {
 		if src != "" && len(m.stats.Examples) < 5 {
 			m.stats.Examples = append(m.stats.Examples, src)
 		}
+		if m.corpus != nil {
+			// First sighting of this signature: persist (and
+			// auto-reduce) its reproducer. Runs here, on the reducer,
+			// so the corpus never races and entry order is the
+			// deterministic discovery order. Replayed findings hit the
+			// idempotence check and return immediately.
+			if err := m.corpus.record(f, src); err != nil && m.persistErr == nil {
+				m.persistErr = err
+			}
+		}
 	}
 	if out.tradHit {
 		m.stats.TradSeeds++
@@ -202,7 +233,10 @@ func (m *merger) emitProgress() {
 
 // runCampaignParallel drives opts.Seeds seeds over a pool of workers
 // and merges outcomes deterministically. workers must be >= 1.
-func runCampaignParallel(opts CampaignOptions, workers int, m *merger) {
+// Outcomes in cached (journaled by an interrupted run) are not
+// re-computed: they replay through the merger at their seed-order
+// slot, interleaved with freshly computed ones.
+func runCampaignParallel(opts CampaignOptions, workers int, m *merger, cached map[int]seedOutcome) {
 	if workers > opts.Seeds && opts.Seeds > 0 {
 		workers = opts.Seeds
 	}
@@ -211,6 +245,10 @@ func runCampaignParallel(opts CampaignOptions, workers int, m *merger) {
 		// goroutines — workers=1 is the reference the determinism
 		// tests compare every other worker count against.
 		for i := 0; i < opts.Seeds; i++ {
+			if out, ok := cached[i]; ok {
+				m.add(out)
+				continue
+			}
 			m.add(runSeedBounded(opts, i))
 		}
 		return
@@ -230,6 +268,9 @@ func runCampaignParallel(opts CampaignOptions, workers int, m *merger) {
 	}
 	go func() {
 		for i := 0; i < opts.Seeds; i++ {
+			if _, ok := cached[i]; ok {
+				continue // journaled: replayed by the reducer, not re-run
+			}
 			jobs <- i
 		}
 		close(jobs)
@@ -238,19 +279,30 @@ func runCampaignParallel(opts CampaignOptions, workers int, m *merger) {
 	}()
 
 	// Reducer: buffer out-of-order arrivals, release in seed order.
+	// Cached outcomes pre-populate the buffer so the release loop
+	// treats journaled and fresh seeds uniformly.
 	pending := map[int]seedOutcome{}
+	for i, out := range cached {
+		if i < opts.Seeds {
+			pending[i] = out
+		}
+	}
 	next := 0
-	for out := range outs {
-		pending[out.idx] = out
+	release := func() {
 		for {
 			o, ok := pending[next]
 			if !ok {
-				break
+				return
 			}
 			delete(pending, next)
 			m.add(o)
 			next++
 		}
+	}
+	release() // a cached prefix merges before any worker reports
+	for out := range outs {
+		pending[out.idx] = out
+		release()
 	}
 }
 
@@ -277,9 +329,12 @@ func (p Progress) RunsPerSec() float64 {
 	return float64(p.Runs) / p.Elapsed.Seconds()
 }
 
-// ETA estimates the remaining wall-clock time from per-seed averages.
+// ETA estimates the remaining wall-clock time from per-seed averages,
+// clamped to >= 0: SeedsDone can exceed Seeds (a resumed campaign
+// replaying a journal recorded past the currently requested seed
+// count), and a negative "remaining time" is never meaningful.
 func (p Progress) ETA() time.Duration {
-	if p.SeedsDone == 0 {
+	if p.SeedsDone <= 0 || p.SeedsDone >= p.Seeds {
 		return 0
 	}
 	perSeed := p.Elapsed / time.Duration(p.SeedsDone)

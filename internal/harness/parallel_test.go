@@ -344,3 +344,30 @@ func TestProgressHook(t *testing.T) {
 		t.Errorf("final ETA = %v, want 0", final.ETA())
 	}
 }
+
+// TestProgressETAClamped: ETA must never go negative — SeedsDone can
+// exceed Seeds when a resumed campaign replays a journal recorded
+// past the currently requested seed count.
+func TestProgressETAClamped(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Progress
+	}{
+		{"overshoot", Progress{SeedsDone: 7, Seeds: 5, Elapsed: 10 * time.Second}},
+		{"exactly done", Progress{SeedsDone: 5, Seeds: 5, Elapsed: 10 * time.Second}},
+		{"nothing done", Progress{SeedsDone: 0, Seeds: 5, Elapsed: 10 * time.Second}},
+		{"zero seeds", Progress{SeedsDone: 0, Seeds: 0}},
+	}
+	for _, tc := range cases {
+		if eta := tc.p.ETA(); eta < 0 {
+			t.Errorf("%s: ETA = %v, want >= 0", tc.name, eta)
+		} else if tc.p.SeedsDone >= tc.p.Seeds && eta != 0 {
+			t.Errorf("%s: ETA = %v, want 0 once done", tc.name, eta)
+		}
+	}
+	// Sanity: a half-done campaign still projects forward.
+	half := Progress{SeedsDone: 5, Seeds: 10, Elapsed: 10 * time.Second}
+	if eta := half.ETA(); eta != 10*time.Second {
+		t.Errorf("half-done ETA = %v, want 10s", eta)
+	}
+}

@@ -50,8 +50,8 @@ func (k FindingKind) String() string {
 
 // Finding is one detected JIT-compiler bug manifestation.
 type Finding struct {
-	Kind      FindingKind
-	Profile   string
+	Kind    FindingKind
+	Profile string
 	// Component is the crash component for crashes, the hottest
 	// (offending) method for performance findings, and "" for
 	// mis-compilations.
@@ -98,6 +98,25 @@ func signatureOf(kind FindingKind, profile, component, detail string) string {
 }
 
 // componentOf extracts the JIT component from a crash detail string.
+//
+// A single detail can carry several markers — a compiler assertion
+// whose message mentions the SIGSEGV it averted, a GC corruption
+// report quoting the faulting assertion — so classification follows
+// an explicit most-specific-first precedence rather than whichever
+// substring check happens to run first:
+//
+//  1. "assertion failure in <component>:" — names the exact component
+//     whose invariant fired; always the most precise attribution.
+//  2. "GC: heap corruption" — the collector's own integrity check,
+//     pinpointing Garbage Collection even if the message embeds other
+//     markers.
+//  3. "SIGSEGV" / "uncommon trap stub" — a fault while executing
+//     generated code, attributable only to Code Execution at large.
+//  4. Anything else — "Other JIT Components".
+//
+// This order is part of the signature contract (signatures embed the
+// component), so changing it re-keys every crash corpus: don't,
+// without bumping journalVersion.
 func componentOf(detail string) string {
 	if i := strings.Index(detail, "assertion failure in "); i >= 0 {
 		rest := detail[i+len("assertion failure in "):]

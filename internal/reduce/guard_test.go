@@ -42,6 +42,27 @@ func TestReduceRejectsUninterestingInput(t *testing.T) {
 	}
 }
 
+// TestReduceCheckedReportsPrecondition: callers (cmd/mjreduce, the
+// campaign auto-reducer) need to distinguish "already minimal" from
+// "never triggered the finding"; ReduceChecked must say which.
+func TestReduceCheckedReportsPrecondition(t *testing.T) {
+	p := mustParse(t, guardSrc)
+	got, ok := ReduceChecked(p, func(q *ast.Program) bool { return false }, Options{})
+	if ok {
+		t.Error("ReduceChecked reported ok for an input that never satisfies the predicate")
+	}
+	if ast.Print(got) != ast.Print(p) {
+		t.Error("failed precondition must return the input unchanged")
+	}
+	got, ok = ReduceChecked(p, func(q *ast.Program) bool { return true }, Options{})
+	if !ok {
+		t.Error("ReduceChecked reported failure for a satisfiable predicate")
+	}
+	if ast.ProgramSize(got) >= ast.ProgramSize(p) {
+		t.Error("trivially-keepable program was not reduced at all")
+	}
+}
+
 // TestReduceNegativeMaxRounds: a negative MaxRounds used to slip past
 // the ==0 default check, so the round loop never ran and Reduce
 // returned the input unreduced. Negative values now clamp to the

@@ -32,14 +32,25 @@ type Options struct {
 // up front: if the input is not interesting to begin with, nothing
 // the reducer keeps could be either (every accepted edit re-checks
 // keep), so Reduce returns an unchanged clone instead of shrinking
-// against a vacuous predicate.
+// against a vacuous predicate. Callers that need to distinguish "the
+// input was already minimal" from "the input never satisfied the
+// predicate" should use ReduceChecked.
 func Reduce(p *ast.Program, keep Predicate, opts Options) *ast.Program {
+	out, _ := ReduceChecked(p, keep, opts)
+	return out
+}
+
+// ReduceChecked is Reduce with an explicit precondition report: the
+// second return value is false — and the input comes back as an
+// unchanged clone — when keep(p) did not hold to begin with, so the
+// outcome of the precondition probe is never silently discarded.
+func ReduceChecked(p *ast.Program, keep Predicate, opts Options) (*ast.Program, bool) {
 	if opts.MaxRounds <= 0 {
 		opts.MaxRounds = 20
 	}
 	cur := ast.CloneProgram(p)
 	if !keep(cur) {
-		return cur
+		return cur, false
 	}
 	for round := 0; round < opts.MaxRounds; round++ {
 		changed := false
@@ -56,7 +67,7 @@ func Reduce(p *ast.Program, keep Predicate, opts Options) *ast.Program {
 			break
 		}
 	}
-	return cur
+	return cur, true
 }
 
 // valid reports whether the candidate still type-checks; reductions

@@ -82,8 +82,8 @@ func TestDeoptReasonBucket(t *testing.T) {
 	cases := map[string]string{
 		"speculation failed in foo at bytecode 12": "speculation failed",
 		"speculation failed in bar at bytecode 99": "speculation failed",
-		"trap at pc 3":                             "trap",
-		"plain reason":                             "plain reason",
+		"trap at pc 3": "trap",
+		"plain reason": "plain reason",
 	}
 	for in, want := range cases {
 		if got := deoptReasonBucket(in); got != want {
