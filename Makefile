@@ -6,7 +6,7 @@
 GO      ?= go
 TIMEOUT ?= 9000s
 
-.PHONY: all build fmt vet test race resume bench ci
+.PHONY: all build fmt vet test race resume bench bench-smoke ci
 
 all: ci
 
@@ -41,9 +41,17 @@ resume:
 		-run 'TestResumeDeterminism|TestResumeAfterTornRecord|TestCorpus' \
 		./internal/journal/ ./internal/harness/
 
-# One-shot pass over every benchmark, mostly to prove they still run;
-# use bigger -benchtime for real measurements.
+# One-shot pass over every benchmark to prove they still run, then
+# the structured throughput report: cmd/bench measures campaign
+# runs/sec, mutate+compile ns/op and allocs/op, and interpreter
+# ns/op, writing BENCH_campaign.json for cross-commit diffing.
 bench:
 	$(GO) test -bench . -benchtime 1x -timeout $(TIMEOUT) .
+	$(GO) run ./cmd/bench -seeds 30 -out BENCH_campaign.json
 
-ci: fmt vet test race resume
+# Cheap smoke variant for CI: proves the report pipeline works
+# without paying for a statistically meaningful measurement.
+bench-smoke:
+	$(GO) run ./cmd/bench -seeds 3 -benchtime 0.05 -out BENCH_campaign.json
+
+ci: fmt vet test race resume bench-smoke

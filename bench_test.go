@@ -263,15 +263,20 @@ func BenchmarkTable3MutationCostSingleRun(b *testing.B) {
 }
 
 // BenchmarkTable3MutationCostLargeScale measures the "Large-scale"
-// row: the engine is booted once (seed parsed and analyzed once) and
-// then driven to generate many mutants.
+// row: the engine is booted once — the seed is parsed and analyzed a
+// single time, its sem.Info handed to every mutation via SeedInfo —
+// and then driven to generate many mutants, each validity-checked
+// incrementally (AnalyzeDelta re-checks only mutated methods). This is
+// exactly how harness.Validate drives jonm in a campaign.
 func BenchmarkTable3MutationCostLargeScale(b *testing.B) {
 	prog := fuzz.Generate(fuzz.Options{Seed: 1})
+	info := sem.MustAnalyze(prog)
 	prof := mustProfile(b, "hotspotlike")
 	times := benchMutation(b, func(i int) {
 		mutant, _, err := jonm.Mutate(prog, &jonm.Config{
 			Min: prof.SynMin, Max: prof.SynMax, StepMax: prof.SynStepMax,
-			Rand: rand.New(rand.NewSource(int64(i))),
+			Rand:     rand.New(rand.NewSource(int64(i))),
+			SeedInfo: info,
 		})
 		if err != nil {
 			b.Fatal(err)

@@ -30,6 +30,7 @@ import (
 
 	"artemis/internal/harness"
 	"artemis/internal/profiles"
+	"artemis/internal/profiling"
 )
 
 func main() {
@@ -52,7 +53,15 @@ func main() {
 	resume := flag.Bool("resume", false, "resume an interrupted campaign from -journal, skipping already-journaled seeds")
 	corpusDir := flag.String("corpus", "", "persist every novel finding (seed, mutant, auto-reduced reproducer) under this directory")
 	reduceBudget := flag.Int("reducebudget", 0, "keep-predicate evaluations per finding for in-campaign auto-reduction (0 = default, negative disables)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	collectMetrics := *metricsOut != ""
 	persisting := *journalPath != "" || *corpusDir != ""
@@ -148,6 +157,7 @@ func main() {
 		if *selfcheck {
 			if len(stats.Distinct) > 0 {
 				fmt.Println("SELF-CHECK FAILED: the correct VM produced discrepancies")
+				stopProf() // os.Exit skips defers
 				os.Exit(1)
 			}
 			fmt.Println("self-check passed: no false positives")

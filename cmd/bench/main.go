@@ -1,0 +1,156 @@
+// Command bench measures the three throughput-critical paths of the
+// validation pipeline — campaign end-to-end throughput, the
+// mutate+compile front-end, and raw interpretation — and writes the
+// results as deterministic-shape JSON (BENCH_campaign.json by
+// default) so CI can archive and diff them across commits.
+//
+// Usage:
+//
+//	bench                          # full measurement, BENCH_campaign.json
+//	bench -seeds 5 -benchtime 0.1  # the cheap smoke variant `make ci` runs
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"artemis/internal/bytecode"
+	"artemis/internal/fuzz"
+	"artemis/internal/harness"
+	"artemis/internal/jonm"
+	"artemis/internal/lang/parser"
+	"artemis/internal/lang/sem"
+	"artemis/internal/profiles"
+	"artemis/internal/vm"
+)
+
+type benchJSON struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+}
+
+type report struct {
+	Campaign struct {
+		Profile    string  `json:"profile"`
+		Seeds      int     `json:"seeds"`
+		Mutants    int     `json:"mutants"`
+		Runs       int     `json:"runs"`
+		ElapsedSec float64 `json:"elapsed_sec"`
+		RunsPerSec float64 `json:"runs_per_sec"`
+	} `json:"campaign"`
+	MutateCompile benchJSON `json:"mutate_compile"`
+	Interpreter   benchJSON `json:"interpreter"`
+}
+
+func main() {
+	testing.Init() // registers test.benchtime so micro-benchmark time is tunable
+	out := flag.String("out", "BENCH_campaign.json", "output JSON path")
+	seeds := flag.Int("seeds", 30, "campaign seeds for the throughput measurement")
+	benchtime := flag.Float64("benchtime", 1, "seconds per micro-benchmark")
+	flag.Parse()
+	if err := flag.Set("test.benchtime", fmt.Sprintf("%gs", *benchtime)); err != nil {
+		fatal(err)
+	}
+
+	prof, err := profiles.Get("hotspotlike")
+	if err != nil {
+		fatal(err)
+	}
+
+	var r report
+
+	fmt.Fprintf(os.Stderr, "bench: campaign (%d seeds)...\n", *seeds)
+	stats := harness.RunCampaign(harness.CampaignOptions{
+		Options: harness.Options{Profile: prof, MaxIter: 8, Buggy: true},
+		Seeds:   *seeds,
+	})
+	r.Campaign.Profile = stats.Profile
+	r.Campaign.Seeds = stats.Seeds
+	r.Campaign.Mutants = stats.Mutants
+	r.Campaign.Runs = stats.Runs
+	r.Campaign.ElapsedSec = stats.Elapsed.Seconds()
+	r.Campaign.RunsPerSec = stats.Throughput()
+
+	fmt.Fprintln(os.Stderr, "bench: mutate+compile front-end...")
+	r.MutateCompile = run(benchMutateCompile(prof))
+
+	fmt.Fprintln(os.Stderr, "bench: interpreter...")
+	r.Interpreter = run(benchInterpreter())
+
+	data, err := json.MarshalIndent(&r, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "bench: report written to %s\n", *out)
+	fmt.Printf("campaign %.2f runs/s | mutate+compile %d ns/op %d allocs/op | interpreter %d ns/op %d allocs/op\n",
+		r.Campaign.RunsPerSec,
+		r.MutateCompile.NsPerOp, r.MutateCompile.AllocsPerOp,
+		r.Interpreter.NsPerOp, r.Interpreter.AllocsPerOp)
+}
+
+// benchMutateCompile measures one mutant's front-end cost the way a
+// campaign pays it: JoNM mutation against a pre-analyzed seed plus an
+// incremental (method-granular) compile against the seed's program.
+func benchMutateCompile(prof *profiles.Profile) func(b *testing.B) {
+	seedProg := fuzz.Generate(fuzz.Options{Seed: 1})
+	seedInfo := sem.MustAnalyze(seedProg)
+	seedBP := bytecode.MustCompile(seedInfo)
+	cfg := &jonm.Config{
+		Min: prof.SynMin, Max: prof.SynMax, StepMax: prof.SynStepMax,
+		Rand:     rand.New(rand.NewSource(1)),
+		SeedInfo: seedInfo,
+	}
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, rep, err := jonm.Mutate(seedProg, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bytecode.MustCompileDelta(rep.Info, seedBP, rep.Mutated)
+		}
+	}
+}
+
+// benchInterpreter measures raw bytecode interpretation with a reused
+// per-worker Scratch, matching the campaign's steady-state run path.
+func benchInterpreter() func(b *testing.B) {
+	prog, err := parser.Parse(`class T { void main() {
+        long a = 0;
+        for (int i = 0; i < 200000; i++) { a += i ^ (a >> 3); }
+        print(a);
+    } }`)
+	if err != nil {
+		fatal(err)
+	}
+	bp := harness.Compile(prog)
+	scratch := &vm.Scratch{}
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			vm.Run(vm.Config{Scratch: scratch}, bp)
+		}
+	}
+}
+
+func run(fn func(b *testing.B)) benchJSON {
+	res := testing.Benchmark(fn)
+	return benchJSON{
+		NsPerOp:     res.NsPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

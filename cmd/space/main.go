@@ -28,6 +28,7 @@ import (
 	"artemis/internal/lang/ast"
 	"artemis/internal/lang/parser"
 	"artemis/internal/profiles"
+	"artemis/internal/profiling"
 	"artemis/internal/vm"
 )
 
@@ -47,7 +48,15 @@ func main() {
 	methodsFlag := flag.String("methods", "", "comma-separated methods to toggle (default: all)")
 	workers := flag.Int("workers", 0, "parallel choice workers (0 = all CPUs); any value yields identical output")
 	metricsOut := flag.String("metrics", "", "write per-choice execution metrics JSON to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	src := figure1
 	if flag.NArg() == 1 {
@@ -101,6 +110,7 @@ func main() {
 		fmt.Println("all choices agree: no JIT-compiler bug observable in this space")
 	} else {
 		fmt.Printf("DISCREPANCY: %d distinct behaviours in one compilation space — JIT-compiler bug!\n", len(byKey))
+		stopProf() // os.Exit skips defers
 		os.Exit(3)
 	}
 }

@@ -39,6 +39,7 @@ func Compile(info *sem.Info) (*Program, error) {
 			return nil, fmt.Errorf("bytecode: method %s: %w", m.Name, err)
 		}
 	}
+	p.Predecode()
 	return p, nil
 }
 

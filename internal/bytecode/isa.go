@@ -222,6 +222,10 @@ type Method struct {
 	Switches []SwitchTable
 	Loops    []LoopInfo
 	MaxStack int
+
+	// Decoded is the pre-decoded instruction stream (1:1 with Code),
+	// built once after verification; the interpreter dispatches on it.
+	Decoded []DInstr
 }
 
 // IsRefSlot reports whether local slot i holds an array reference

@@ -1,0 +1,230 @@
+package bytecode
+
+import (
+	"fmt"
+
+	"artemis/internal/lang/ast"
+)
+
+// DOp enumerates decoded opcodes: the Instr opcode space flattened so
+// that every per-step decision the interpreter used to make from Instr
+// flags (Wide arithmetic width, Cond comparison codes, callee arity and
+// void-ness, loop-head -> loop-id lookup) is folded into the opcode or
+// an immediate at Program construction time. The interpreter dispatch
+// loop — the hottest loop in the repo, bounded only by StepLimit —
+// then runs on a dense 16-byte instruction word with no re-decoding.
+type DOp uint8
+
+const (
+	DNop DOp = iota
+
+	DConst // push A
+	DLoad  // push locals[A]
+	DStore // locals[A] = pop
+	DPop
+	DDup
+	DDup2
+
+	DGetField // push fields[A]
+	DPutField // fields[A] = pop
+
+	DNewArr // pop len; push new array handle (elem kind in Kind)
+	DALoad
+	DAStore
+	DArrLen
+
+	// Arithmetic fused by width: the L forms are 64-bit (long), the I
+	// forms 32-bit wrapping (int), replicating EvalBinary exactly.
+	DAddL
+	DAddI
+	DSubL
+	DSubI
+	DMulL
+	DMulI
+	DDivL
+	DDivI
+	DRemL
+	DRemI
+	DAndL
+	DAndI
+	DOrL
+	DOrI
+	DXorL
+	DXorI
+	DShlL
+	DShlI
+	DShrL
+	DShrI
+	DUshrL
+	DUshrI
+
+	DNegL
+	DNegI
+	DBitNotL
+	DBitNotI
+	DL2I
+
+	// CmpSet fused by condition (width-independent, like Cond.Eval).
+	DCmpEQ
+	DCmpNE
+	DCmpLT
+	DCmpLE
+	DCmpGT
+	DCmpGE
+
+	DGoto    // jump to A
+	DIfTrue  // pop v; jump to A if v != 0
+	DIfFalse // pop v; jump to A if v == 0
+
+	// IfCmp fused by condition: pop b, a; jump to A if a Cond b.
+	DIfCmpEQ
+	DIfCmpNE
+	DIfCmpLT
+	DIfCmpLE
+	DIfCmpGT
+	DIfCmpGE
+
+	DSwitch   // pop v; jump via Switches[A]
+	DLoopBack // back-edge to A; B is the resolved loop id
+
+	DCall  // call Methods[A] (B = NParams), push result
+	DCallV // call Methods[A] (B = NParams), void
+
+	DRet
+	DRetV
+
+	DPrint // pop v, print (value kind in Kind)
+)
+
+// DInstr is one pre-decoded instruction: a dense 16-byte word with all
+// operands resolved. The decoded stream maps 1:1 onto Method.Code (same
+// pc for every instruction), so deopt resume points, profile keys, and
+// disassembly line numbers carry over unchanged.
+type DInstr struct {
+	A    int64 // immediate / slot / field / pc target / method or table index
+	B    int32 // loop id (DLoopBack) / callee NParams (DCall, DCallV)
+	Op   DOp
+	Kind uint8 // ast.Kind for DNewArr / DPrint
+}
+
+// widePick returns l for wide (long) instructions and i for int ones.
+func widePick(wide bool, l, i DOp) DOp {
+	if wide {
+		return l
+	}
+	return i
+}
+
+// Predecode fills in the decoded instruction stream of every method
+// that does not have one yet. Compile and CompileDelta predecode
+// eagerly (so shared programs are never mutated after construction);
+// this exported hook exists for hand-assembled test programs.
+func (p *Program) Predecode() {
+	for _, m := range p.Methods {
+		if m.Decoded == nil {
+			p.predecode(m)
+		}
+	}
+}
+
+// predecode builds m.Decoded from m.Code. The method must already be
+// verified: branch targets and call indices are trusted.
+func (p *Program) predecode(m *Method) {
+	byHead := map[int]int{}
+	for _, l := range m.Loops {
+		byHead[l.HeadPC] = l.ID
+	}
+	d := make([]DInstr, len(m.Code))
+	for pc, in := range m.Code {
+		o := DInstr{A: in.A, Kind: uint8(in.Kind)}
+		switch in.Op {
+		case OpNop:
+			o.Op = DNop
+		case OpConst:
+			o.Op = DConst
+		case OpLoad:
+			o.Op = DLoad
+		case OpStore:
+			o.Op = DStore
+		case OpPop:
+			o.Op = DPop
+		case OpDup:
+			o.Op = DDup
+		case OpDup2:
+			o.Op = DDup2
+		case OpGetField:
+			o.Op = DGetField
+		case OpPutField:
+			o.Op = DPutField
+		case OpNewArr:
+			o.Op = DNewArr
+		case OpALoad:
+			o.Op = DALoad
+		case OpAStore:
+			o.Op = DAStore
+		case OpArrLen:
+			o.Op = DArrLen
+		case OpAdd:
+			o.Op = widePick(in.Wide, DAddL, DAddI)
+		case OpSub:
+			o.Op = widePick(in.Wide, DSubL, DSubI)
+		case OpMul:
+			o.Op = widePick(in.Wide, DMulL, DMulI)
+		case OpDiv:
+			o.Op = widePick(in.Wide, DDivL, DDivI)
+		case OpRem:
+			o.Op = widePick(in.Wide, DRemL, DRemI)
+		case OpAnd:
+			o.Op = widePick(in.Wide, DAndL, DAndI)
+		case OpOr:
+			o.Op = widePick(in.Wide, DOrL, DOrI)
+		case OpXor:
+			o.Op = widePick(in.Wide, DXorL, DXorI)
+		case OpShl:
+			o.Op = widePick(in.Wide, DShlL, DShlI)
+		case OpShr:
+			o.Op = widePick(in.Wide, DShrL, DShrI)
+		case OpUshr:
+			o.Op = widePick(in.Wide, DUshrL, DUshrI)
+		case OpNeg:
+			o.Op = widePick(in.Wide, DNegL, DNegI)
+		case OpBitNot:
+			o.Op = widePick(in.Wide, DBitNotL, DBitNotI)
+		case OpL2I:
+			o.Op = DL2I
+		case OpCmpSet:
+			o.Op = DCmpEQ + DOp(in.Cond)
+		case OpGoto:
+			o.Op = DGoto
+		case OpIfTrue:
+			o.Op = DIfTrue
+		case OpIfFalse:
+			o.Op = DIfFalse
+		case OpIfCmp:
+			o.Op = DIfCmpEQ + DOp(in.Cond)
+		case OpSwitch:
+			o.Op = DSwitch
+		case OpLoopBack:
+			o.Op = DLoopBack
+			o.B = int32(byHead[int(in.A)])
+		case OpCall:
+			callee := p.Methods[in.A]
+			o.B = int32(callee.NParams)
+			if callee.Ret.Kind == ast.KindVoid {
+				o.Op = DCallV
+			} else {
+				o.Op = DCall
+			}
+		case OpRet:
+			o.Op = DRet
+		case OpRetV:
+			o.Op = DRetV
+		case OpPrint:
+			o.Op = DPrint
+		default:
+			panic(fmt.Sprintf("bytecode: predecode of unknown opcode %v at pc %d in %s", in.Op, pc, m.Name))
+		}
+		d[pc] = o
+	}
+	m.Decoded = d
+}

@@ -279,7 +279,7 @@ func EnumerateSpaceParallel(prof *profiles.Profile, prog *ast.Program, methods [
 	n := len(methods)
 	total := 1 << n
 	choices := make([]SpaceChoice, total)
-	runMask := func(mask int) {
+	runMask := func(mask int, scratch *vm.Scratch) {
 		compiled := map[string]bool{}
 		forced := map[string]vm.ForceChoice{}
 		for i, m := range methods {
@@ -292,6 +292,7 @@ func EnumerateSpaceParallel(prof *profiles.Profile, prog *ast.Program, methods [
 		}
 		cfg := prof.VMConfig(buggy)
 		cfg.Policy = &vm.ForcedPolicy{Tier: prof.MaxTier, Methods: forced, DisableOSR: true}
+		cfg.Scratch = scratch
 		cfg.RecordTrace = true
 		cfg.CollectStats = true
 		res := vm.Run(cfg, bp)
@@ -304,8 +305,9 @@ func EnumerateSpaceParallel(prof *profiles.Profile, prog *ast.Program, methods [
 		workers = total
 	}
 	if workers <= 1 {
+		scratch := &vm.Scratch{}
 		for mask := 0; mask < total; mask++ {
-			runMask(mask)
+			runMask(mask, scratch)
 		}
 		return choices
 	}
@@ -315,12 +317,13 @@ func EnumerateSpaceParallel(prof *profiles.Profile, prog *ast.Program, methods [
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			scratch := &vm.Scratch{} // per-worker, never shared
 			for {
 				mask := int(next.Add(1)) - 1
 				if mask >= total {
 					return
 				}
-				runMask(mask)
+				runMask(mask, scratch)
 			}
 		}()
 	}

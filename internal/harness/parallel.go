@@ -20,6 +20,7 @@ import (
 
 	"artemis/internal/fuzz"
 	"artemis/internal/journal"
+	"artemis/internal/vm"
 )
 
 // ---------------------------------------------------------------------------
@@ -44,7 +45,10 @@ type seedOutcome struct {
 // 1), and optionally the traditional baseline. A panic anywhere in the
 // chain is converted into an internal-error finding so one bad seed
 // cannot take down a campaign that has hours of work behind it.
-func runSeed(opts CampaignOptions, idx int) (out seedOutcome) {
+// scratch is this worker's reusable VM memory (may be nil); it is
+// threaded into every run of the chain, including the comparative
+// baseline, which also reuses the seed program Validate compiled.
+func runSeed(opts CampaignOptions, idx int, scratch *vm.Scratch) (out seedOutcome) {
 	out.idx = idx
 	seedID := opts.SeedBase + int64(idx)
 	defer func() {
@@ -60,13 +64,13 @@ func runSeed(opts CampaignOptions, idx int) (out seedOutcome) {
 
 	o := opts.Options
 	o.Rand = rand.New(rand.NewSource(seedID * 7919))
+	o.scratch = scratch
 	out.res = Validate(seedProg, seedID, o)
 	if out.res.SeedDiscarded {
 		return out
 	}
 	if opts.Comparative {
-		bp := Compile(seedProg)
-		out.tradHit, out.tradRuns = TraditionalDiscrepancy(bp, o)
+		out.tradHit, out.tradRuns = TraditionalDiscrepancy(out.res.seedBP, o)
 	}
 	return out
 }
@@ -98,12 +102,16 @@ func panicResult(profile string, seedID int64, r any) *Result {
 // wall-clock cutoff is inherently timing-dependent: campaigns that
 // need bit-exact reproducibility should leave SeedTimeout at 0 and
 // rely on the deterministic StepLimit instead.
-func runSeedBounded(opts CampaignOptions, idx int) seedOutcome {
+func runSeedBounded(opts CampaignOptions, idx int, scratch *vm.Scratch) seedOutcome {
 	if opts.SeedTimeout <= 0 {
-		return runSeed(opts, idx)
+		return runSeed(opts, idx, scratch)
 	}
+	// The bounded goroutine may outlive this call (abandoned on
+	// timeout, still running while the worker moves on), so it must
+	// not share the worker's scratch: give it a fresh one. Reuse still
+	// happens across the dozens of runs within the seed's own chain.
 	ch := make(chan seedOutcome, 1)
-	go func() { ch <- runSeed(opts, idx) }()
+	go func() { ch <- runSeed(opts, idx, &vm.Scratch{}) }()
 	timer := time.NewTimer(opts.SeedTimeout)
 	defer timer.Stop()
 	select {
@@ -244,12 +252,13 @@ func runCampaignParallel(opts CampaignOptions, workers int, m *merger, cached ma
 		// Sequential fast path: same runSeed + merge code, no
 		// goroutines — workers=1 is the reference the determinism
 		// tests compare every other worker count against.
+		scratch := &vm.Scratch{}
 		for i := 0; i < opts.Seeds; i++ {
 			if out, ok := cached[i]; ok {
 				m.add(out)
 				continue
 			}
-			m.add(runSeedBounded(opts, i))
+			m.add(runSeedBounded(opts, i, scratch))
 		}
 		return
 	}
@@ -261,8 +270,9 @@ func runCampaignParallel(opts CampaignOptions, workers int, m *merger, cached ma
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			scratch := &vm.Scratch{} // per-worker, never shared
 			for i := range jobs {
-				outs <- runSeedBounded(opts, i)
+				outs <- runSeedBounded(opts, i, scratch)
 			}
 		}()
 	}

@@ -252,7 +252,7 @@ func TestValidateSourceInvariant(t *testing.T) {
 		out := runSeed(CampaignOptions{
 			Options:  Options{Profile: prof, MaxIter: 3, Buggy: true},
 			SeedBase: 100,
-		}, i)
+		}, i, nil)
 		if out.res.SeedDiscarded {
 			continue
 		}

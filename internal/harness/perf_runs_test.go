@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"testing"
+
+	"artemis/internal/lang/parser"
+	"artemis/internal/vm"
+)
+
+// TestPerfFindingRunAccounting pins the run accounting of the
+// performance-finding path: when CollectMetrics already captured the
+// compiled run's JIT trace, attribution must reuse it — no extra
+// tracing rerun, no extra Runs increment. Only the metrics-off path
+// is allowed exactly one attribution rerun.
+func TestPerfFindingRunAccounting(t *testing.T) {
+	prof := profile(t, "hotspotlike")
+	o := Options{Profile: prof}.withDefaults()
+
+	progAST, err := parser.Parse(`class T {
+        int work() {
+            int a = 0;
+            for (int i = 0; i < 30000; i++) { a += i; }
+            return a;
+        }
+        void main() { print(work()); }
+    }`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	bp := Compile(progAST)
+
+	// Pretend the compiled run timed out while the interpreted one
+	// finished — the Performance symptom.
+	out := &vm.Output{Term: vm.TermTimeout, Steps: 1 << 22}
+	intOut := &vm.Output{Term: vm.TermNormal, Steps: 1 << 16}
+
+	// Capture a real trace the way a metered campaign run would.
+	cfg := prof.VMConfig(false)
+	cfg.RecordTrace = true
+	trace := vm.Run(cfg, bp).Trace
+	if trace == nil {
+		t.Fatal("traced run returned no JIT trace")
+	}
+
+	res := &Result{Runs: 3}
+	f := perfFinding(o, nil, bp, 1, 0, out, intOut, trace, res)
+	if res.Runs != 3 {
+		t.Errorf("with a captured trace, perfFinding performed %d extra runs, want 0", res.Runs-3)
+	}
+	if f.Kind != Performance {
+		t.Errorf("finding kind = %v, want Performance", f.Kind)
+	}
+	if f.Component == "unknown" || f.Component == "" {
+		t.Errorf("finding not attributed to a hot method: component = %q", f.Component)
+	}
+
+	// Metrics off: the trace is absent and attribution needs exactly
+	// one rerun.
+	res = &Result{Runs: 3}
+	perfFinding(o, nil, bp, 1, 0, out, intOut, nil, res)
+	if res.Runs != 4 {
+		t.Errorf("without a trace, perfFinding performed %d extra runs, want exactly 1", res.Runs-3)
+	}
+}

@@ -165,6 +165,13 @@ type Options struct {
 	// runs (0 = VM default). Truncation affects memory only, never
 	// metric values.
 	TraceLimit int
+
+	// scratch, when non-nil, is the reusable per-worker VM memory
+	// threaded into every run this Options performs. Purely a
+	// performance knob: results are byte-identical with or without it.
+	// Must not be shared between concurrently executing Validate calls
+	// (see vm.Scratch).
+	scratch *vm.Scratch
 }
 
 func (o Options) withDefaults() Options {
@@ -207,6 +214,7 @@ func (o Options) mutationConfig() *jonm.Config {
 func runProgram(o Options, set bugs.Set, bp *bytecode.Program) *vm.Result {
 	cfg := o.Profile.VMConfigWithBugs(set)
 	cfg.StepLimit = o.StepLimit
+	cfg.Scratch = o.scratch
 	if o.CollectMetrics {
 		cfg.CollectStats = true
 		cfg.RecordTrace = true
@@ -228,6 +236,12 @@ type Result struct {
 	// Metrics aggregates execution metrics and exploration coverage
 	// over this seed's runs; nil unless Options.CollectMetrics.
 	Metrics *SeedMetrics
+
+	// seedBP is the seed's compiled program, kept so downstream stages
+	// (the comparative baseline in runSeed) reuse it instead of
+	// compiling the seed a second time. Nil when Validate bailed before
+	// compiling (worker panic).
+	seedBP *bytecode.Program
 }
 
 // Validate implements Algorithm 1 for one seed program: run the seed
@@ -250,7 +264,12 @@ func Validate(seedProg *ast.Program, seedID int64, o Options) *Result {
 		return r
 	}
 
-	seedBP := Compile(seedProg)
+	// The seed is analyzed and compiled exactly once; every mutant
+	// below reuses this work (AnalyzeDelta re-checks only mutated
+	// methods, CompileDelta re-emits only mutated bytecode).
+	seedInfo := sem.MustAnalyze(seedProg)
+	seedBP := bytecode.MustCompile(seedInfo)
+	res.seedBP = seedBP
 	ref := record(runProgram(o, set, seedBP)).Output
 	if ref.Term == vm.TermTimeout {
 		res.SeedDiscarded = true
@@ -259,19 +278,21 @@ func Validate(seedProg *ast.Program, seedID int64, o Options) *Result {
 	// A seed whose *default* run already crashes the VM is a finding
 	// on its own (it exercised the JIT by itself).
 	if ref.Term == vm.TermCrash {
-		res.Findings = append(res.Findings, newFinding(o, set, seedProg, seedID, -1, ref, ref))
+		res.Findings = append(res.Findings, newFinding(o, set, seedBP, seedID, -1, ref, ref))
 		res.MutantSources = append(res.MutantSources, "") // no mutant: the seed itself crashed
 		return res
 	}
 
+	mcfg := o.mutationConfig()
+	mcfg.SeedInfo = seedInfo
 	for i := 0; i < o.MaxIter; i++ {
-		mutant, _, err := jonm.Mutate(seedProg, o.mutationConfig())
+		mutant, rep, err := jonm.Mutate(seedProg, mcfg)
 		if err != nil {
 			// Mutator defect; surface loudly in tests, skip in runs.
 			panic(err)
 		}
 		res.Mutants++
-		mbp := Compile(mutant)
+		mbp := bytecode.MustCompileDelta(rep.Info, seedBP, rep.Mutated)
 		outRes := record(runProgram(o, set, mbp))
 		out := outRes.Output
 		if out.Term == vm.TermTimeout {
@@ -279,6 +300,7 @@ func Validate(seedProg *ast.Program, seedID int64, o Options) *Result {
 			// performance collapse: rerun without JIT.
 			intCfg := o.Profile.InterpreterConfig()
 			intCfg.StepLimit = o.StepLimit
+			intCfg.Scratch = o.scratch
 			if o.CollectMetrics {
 				intCfg.CollectStats = true
 				intCfg.RecordTrace = true
@@ -295,7 +317,7 @@ func Validate(seedProg *ast.Program, seedID int64, o Options) *Result {
 		if out.Equivalent(ref) {
 			continue
 		}
-		f := newFinding(o, set, mutant, seedID, i, ref, out)
+		f := newFinding(o, set, mbp, seedID, i, ref, out)
 		res.Findings = append(res.Findings, f)
 		res.MutantSources = append(res.MutantSources, ast.Print(mutant))
 	}
@@ -314,6 +336,7 @@ func perfFinding(o Options, set bugs.Set, mbp *bytecode.Program, seedID int64, m
 		// once with tracing to attribute the slowdown.
 		cfg := o.Profile.VMConfigWithBugs(set)
 		cfg.StepLimit = o.StepLimit
+		cfg.Scratch = o.scratch
 		cfg.RecordTrace = true
 		trace = vm.Run(cfg, mbp).Trace
 		res.Runs++
@@ -350,8 +373,9 @@ func stepRatioBucket(compiled, interp int64) int {
 }
 
 // newFinding classifies a discrepancy and optionally confirms it and
-// bisects the responsible defect.
-func newFinding(o Options, set bugs.Set, prog *ast.Program, seedID int64, mutantID int, ref, out *vm.Output) Finding {
+// bisects the responsible defect. bp is the already-compiled program
+// that produced out; confirmation and bisection rerun it directly.
+func newFinding(o Options, set bugs.Set, bp *bytecode.Program, seedID int64, mutantID int, ref, out *vm.Output) Finding {
 	f := Finding{
 		Profile:  o.Profile.Name,
 		SeedID:   seedID,
@@ -368,7 +392,6 @@ func newFinding(o Options, set bugs.Set, prog *ast.Program, seedID int64, mutant
 	f.Signature = signatureOf(f.Kind, o.Profile.Name, f.Component, f.Detail)
 
 	if o.ConfirmAndFix {
-		bp := Compile(prog)
 		// Confirm: rerun and compare the normalized symptom (exact
 		// keys would be needlessly brittle for crash diagnostics).
 		again := runProgram(o, set, bp).Output
@@ -417,6 +440,7 @@ func TraditionalDiscrepancy(seedBP *bytecode.Program, o Options) (bool, int) {
 	}
 	cfg := o.Profile.VMConfigWithBugs(set)
 	cfg.StepLimit = o.StepLimit
+	cfg.Scratch = o.scratch
 	cfg.Policy = &vm.ForcedPolicy{
 		Tier:   o.Profile.MaxTier,
 		Choice: func(string, int64) vm.ForceChoice { return vm.ForceCompile },

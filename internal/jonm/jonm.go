@@ -26,6 +26,7 @@ package jonm
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"strings"
 
 	"artemis/internal/lang/ast"
@@ -61,6 +62,13 @@ type Config struct {
 	// benchmarks; Section 3.4 argues skeletons diversify the control
 	// and data flow of synthesized loops.
 	DisableSkeletons bool
+	// SeedInfo, when non-nil, must be the sem analysis of exactly the
+	// seed program passed to Mutate (same AST object graph). It enables
+	// the incremental validity check: only mutated methods are
+	// re-analyzed, everything else reuses the seed's results. Mutation
+	// behaviour (RNG consumption, produced mutants) is identical either
+	// way.
+	SeedInfo *sem.Info
 }
 
 func (c *Config) withDefaults() *Config {
@@ -93,6 +101,16 @@ type Application struct {
 // Report summarizes one Mutate call.
 type Report struct {
 	Applied []Application
+	// Info is the mutant's semantic analysis, computed as part of the
+	// validity check. Callers compile straight from it instead of
+	// re-running sem on a program Mutate just analyzed.
+	Info *sem.Info
+	// Mutated is the set of method names whose bodies differ from the
+	// seed. It is a superset of the Applied[].Method names: MI edits
+	// both its target method and the method containing the chosen call
+	// site. Methods outside this set are byte-identical to the seed's
+	// and safe to reuse compiled.
+	Mutated map[string]bool
 }
 
 // Changed reports whether any mutation was applied.
@@ -117,31 +135,62 @@ func (r *Report) String() string {
 // trace.
 func Mutate(seed *ast.Program, cfg *Config) (*ast.Program, *Report, error) {
 	cfg = cfg.withDefaults()
-	p := ast.CloneProgram(seed)
+	var p *ast.Program
+	cow := cfg.SeedInfo != nil
+	if cow {
+		// Copy-on-write clone: the program shell (class, field and
+		// method tables) is fresh, but a method body is deep-cloned
+		// only when a mutator actually edits it (ensureCloned).
+		// Untouched methods stay shared with the seed — safe because
+		// the incremental analysis (AnalyzeDelta) never writes to
+		// unchanged methods, and mutant ASTs are read-only downstream.
+		cls := *seed.Class
+		cls.Fields = append([]*ast.Field(nil), seed.Class.Fields...)
+		cls.Methods = append([]*ast.Method(nil), seed.Class.Methods...)
+		p = &ast.Program{Class: &cls}
+	} else {
+		// Full analysis re-annotates every method in place, so the
+		// mutant must not share any node with the seed.
+		p = ast.CloneProgram(seed)
+	}
 	mc := newMutationCtx(p, cfg)
+	if !cow {
+		for i := range mc.cloned {
+			mc.cloned[i] = true
+		}
+	}
 	report := &Report{}
 
-	methods := append([]*ast.Method(nil), p.Class.Methods...)
-	for _, m := range methods {
+	n := len(p.Class.Methods)
+	for i := 0; i < n; i++ {
 		if mc.rng.Float64() >= cfg.MethodProb {
 			continue
 		}
-		if app, ok := mc.mutateMethod(m); ok {
+		if app, ok := mc.mutateMethod(i); ok {
 			report.Applied = append(report.Applied, app)
 		}
 	}
 	if len(report.Applied) == 0 {
 		// Force at least one mutation (LI on a random method) so the
 		// mutant is never identical to the seed.
-		m := methods[mc.rng.Intn(len(methods))]
-		if app, ok := mc.applyMutator(LI, m); ok {
+		i := mc.rng.Intn(n)
+		if app, ok := mc.applyMutator(LI, i); ok {
 			report.Applied = append(report.Applied, app)
 		}
 	}
 
-	if _, err := sem.Analyze(p); err != nil {
+	var info *sem.Info
+	var err error
+	if cfg.SeedInfo != nil {
+		info, err = sem.AnalyzeDelta(p, cfg.SeedInfo, mc.mutated)
+	} else {
+		info, err = sem.Analyze(p)
+	}
+	if err != nil {
 		return nil, nil, fmt.Errorf("jonm: mutation produced an invalid program (%s): %w", report, err)
 	}
+	report.Info = info
+	report.Mutated = mc.mutated
 	return p, report, nil
 }
 
@@ -152,11 +201,20 @@ type mutationCtx struct {
 	rng  *rand.Rand
 
 	used    map[string]bool // every identifier in the program
+	mutated map[string]bool // methods whose bodies were edited
 	counter int
+
+	// cloned[i] marks prog.Class.Methods[i] as privately owned (deep
+	// cloned); ensureCloned flips it on first edit. Reusable buffers
+	// keep collectPoints allocation-free in the steady state.
+	cloned   []bool
+	ptsBuf   []progPoint
+	scopeBuf []scopeVar
 }
 
 func newMutationCtx(p *ast.Program, cfg *Config) *mutationCtx {
-	mc := &mutationCtx{prog: p, cfg: cfg, rng: cfg.Rand, used: map[string]bool{}}
+	mc := &mutationCtx{prog: p, cfg: cfg, rng: cfg.Rand, used: map[string]bool{}, mutated: map[string]bool{},
+		cloned: make([]bool, len(p.Class.Methods))}
 	if mc.rng == nil {
 		mc.rng = rand.New(rand.NewSource(1))
 	}
@@ -178,12 +236,16 @@ func newMutationCtx(p *ast.Program, cfg *Config) *mutationCtx {
 	return mc
 }
 
+// touch records that a method's body was edited (feeds Report.Mutated
+// and the incremental re-analysis set).
+func (mc *mutationCtx) touch(methodName string) { mc.mutated[methodName] = true }
+
 // fresh returns a new identifier unused anywhere in the program
 // (the paper's final renaming step, done eagerly).
 func (mc *mutationCtx) fresh(hint string) string {
 	for {
 		mc.counter++
-		name := fmt.Sprintf("jx%s%d", hint, mc.counter)
+		name := "jx" + hint + strconv.Itoa(mc.counter)
 		if !mc.used[name] {
 			mc.used[name] = true
 			return name
@@ -191,25 +253,36 @@ func (mc *mutationCtx) fresh(hint string) string {
 	}
 }
 
-func (mc *mutationCtx) mutateMethod(m *ast.Method) (Application, bool) {
-	mut := mc.cfg.Mutators[mc.rng.Intn(len(mc.cfg.Mutators))]
-	return mc.applyMutator(mut, m)
+// ensureCloned replaces method i with a deep clone on first edit and
+// returns it (copy-on-write). Mutators must only ever write through
+// the returned clone; the original stays shared with the seed.
+func (mc *mutationCtx) ensureCloned(i int) *ast.Method {
+	if !mc.cloned[i] {
+		mc.prog.Class.Methods[i] = ast.CloneMethod(mc.prog.Class.Methods[i])
+		mc.cloned[i] = true
+	}
+	return mc.prog.Class.Methods[i]
 }
 
-func (mc *mutationCtx) applyMutator(mut MutatorName, m *ast.Method) (Application, bool) {
+func (mc *mutationCtx) mutateMethod(i int) (Application, bool) {
+	mut := mc.cfg.Mutators[mc.rng.Intn(len(mc.cfg.Mutators))]
+	return mc.applyMutator(mut, i)
+}
+
+func (mc *mutationCtx) applyMutator(mut MutatorName, i int) (Application, bool) {
 	switch mut {
 	case LI:
-		return mc.loopInserter(m)
+		return mc.loopInserter(i)
 	case SW:
-		if app, ok := mc.statementWrapper(m); ok {
+		if app, ok := mc.statementWrapper(i); ok {
 			return app, true
 		}
-		return mc.loopInserter(m) // no wrappable statement: fall back
+		return mc.loopInserter(i) // no wrappable statement: fall back
 	case MI:
-		if app, ok := mc.methodInvocator(m); ok {
+		if app, ok := mc.methodInvocator(i); ok {
 			return app, true
 		}
-		return mc.loopInserter(m) // no call site: fall back
+		return mc.loopInserter(i) // no call site: fall back
 	}
 	return Application{}, false
 }
@@ -225,11 +298,13 @@ type scopeVar struct {
 }
 
 // progPoint is an insertion point ρ: a position inside a statement
-// list, together with the variables in scope there.
+// list. The variables in scope at a point are computed on demand for
+// the one point a mutator actually picks (scopeAt) — materializing a
+// scope snapshot per point was the mutation pipeline's largest
+// allocation source.
 type progPoint struct {
 	list  *[]ast.Stmt
 	index int
-	scope []scopeVar
 }
 
 // insert places stmts at the point (before the statement currently at
@@ -257,30 +332,37 @@ func (pp *progPoint) replaceNext(repl ast.Stmt) {
 	(*pp.list)[pp.index] = repl
 }
 
-// collectPoints enumerates every insertion point in m's body with its
-// scope (fields are added by the caller when relevant).
-func (mc *mutationCtx) collectPoints(m *ast.Method) []progPoint {
-	var points []progPoint
-	var scope []scopeVar
+// walkPoints enumerates m's insertion points in a fixed order (the
+// ordinal space shared by collectPoints and scopeAt), maintaining the
+// scope incrementally. visit receives the current scope slice — shared
+// and only valid during that visit call — and returns false to stop
+// the walk early.
+func (mc *mutationCtx) walkPoints(m *ast.Method, visit func(list *[]ast.Stmt, index int, scope []scopeVar) bool) {
+	scope := mc.scopeBuf[:0]
 	for _, p := range m.Params {
 		scope = append(scope, scopeVar{p.Name, p.Type})
 	}
 
-	snapshot := func() []scopeVar { return append([]scopeVar(nil), scope...) }
-
+	stopped := false
 	var walkList func(list *[]ast.Stmt)
 	var walkStmt func(s ast.Stmt)
 
 	walkList = func(list *[]ast.Stmt) {
 		mark := len(scope)
 		for i := 0; i <= len(*list); i++ {
-			points = append(points, progPoint{list: list, index: i, scope: snapshot()})
+			if !visit(list, i, scope) {
+				stopped = true
+				return
+			}
 			if i < len(*list) {
 				s := (*list)[i]
 				if d, ok := s.(*ast.DeclStmt); ok {
 					scope = append(scope, scopeVar{d.Name, d.Type})
 				}
 				walkStmt(s)
+				if stopped {
+					return
+				}
 			}
 		}
 		scope = scope[:mark]
@@ -292,6 +374,9 @@ func (mc *mutationCtx) collectPoints(m *ast.Method) []progPoint {
 			walkList(&s.Stmts)
 		case *ast.IfStmt:
 			walkList(&s.Then.Stmts)
+			if stopped {
+				return
+			}
 			switch e := s.Else.(type) {
 			case *ast.Block:
 				walkList(&e.Stmts)
@@ -304,24 +389,54 @@ func (mc *mutationCtx) collectPoints(m *ast.Method) []progPoint {
 				scope = append(scope, scopeVar{d.Name, d.Type})
 			}
 			walkList(&s.Body.Stmts)
+			if stopped {
+				return
+			}
 			scope = scope[:mark]
 		case *ast.WhileStmt:
 			walkList(&s.Body.Stmts)
 		case *ast.SwitchStmt:
 			for _, c := range s.Cases {
 				walkList(&c.Body)
+				if stopped {
+					return
+				}
 			}
 		}
 	}
 
 	walkList(&m.Body.Stmts)
+	mc.scopeBuf = scope[:0]
+}
+
+// collectPoints enumerates every insertion point in m's body. The
+// returned slice is owned by the mutationCtx and reused by the next
+// collectPoints call: callers must be done with (or have copied)
+// everything they keep before collecting again.
+func (mc *mutationCtx) collectPoints(m *ast.Method) []progPoint {
+	points := mc.ptsBuf[:0]
+	mc.walkPoints(m, func(list *[]ast.Stmt, index int, _ []scopeVar) bool {
+		points = append(points, progPoint{list: list, index: index})
+		return true
+	})
+	mc.ptsBuf = points
 	return points
 }
 
-// pickPoint selects a random program point ρ in m.
-func (mc *mutationCtx) pickPoint(m *ast.Method) progPoint {
-	points := mc.collectPoints(m)
-	return points[mc.rng.Intn(len(points))]
+// scopeAt returns a copy of the variables in scope at point ordinal
+// idx of m (same ordinal space as collectPoints).
+func (mc *mutationCtx) scopeAt(m *ast.Method, idx int) []scopeVar {
+	var out []scopeVar
+	ord := 0
+	mc.walkPoints(m, func(_ *[]ast.Stmt, _ int, scope []scopeVar) bool {
+		if ord == idx {
+			out = append([]scopeVar(nil), scope...)
+			return false
+		}
+		ord++
+		return true
+	})
+	return out
 }
 
 // scopeWithFields extends a point's scope with all class fields

@@ -10,9 +10,19 @@ import (
 // insert it at a random program point. The loop heats the enclosing
 // method toward OSR compilation; depending on the VM this also brings
 // an extra de-optimization when the loop exits.
-func (mc *mutationCtx) loopInserter(m *ast.Method) (Application, bool) {
-	pp := mc.pickPoint(m)
-	sy := newSynth(mc, mc.scopeWithFields(pp.scope))
+func (mc *mutationCtx) loopInserter(i int) (Application, bool) {
+	// Select the point on the (possibly still seed-shared) method;
+	// the clone is structurally identical, so the chosen ordinal maps
+	// 1:1 onto the clone's point list.
+	m := mc.prog.Class.Methods[i]
+	points := mc.collectPoints(m)
+	idx := mc.rng.Intn(len(points))
+	pp := points[idx]
+	if !mc.cloned[i] {
+		m = mc.ensureCloned(i)
+		pp = mc.collectPoints(m)[idx]
+	}
+	sy := newSynth(mc, mc.scopeWithFields(mc.scopeAt(m, idx)))
 	pre, loop, post := sy.synLoop(nil)
 
 	var stmts []ast.Stmt
@@ -20,6 +30,7 @@ func (mc *mutationCtx) loopInserter(m *ast.Method) (Application, bool) {
 	stmts = append(stmts, loop)
 	stmts = append(stmts, post...)
 	pp.insert(stmts...)
+	mc.touch(m.Name)
 	return Application{Mutator: LI, Method: m.Name, Detail: "loop inserted"}, true
 }
 
@@ -31,23 +42,29 @@ func (mc *mutationCtx) loopInserter(m *ast.Method) (Application, bool) {
 // The loop body around the wrapped statement is synthesized in
 // read-only mode: the original statement must observe exactly the
 // state it would have observed in the seed.
-func (mc *mutationCtx) statementWrapper(m *ast.Method) (Application, bool) {
+func (mc *mutationCtx) statementWrapper(i int) (Application, bool) {
+	m := mc.prog.Class.Methods[i]
 	points := mc.collectPoints(m)
 	// Candidate points: those directly followed by a wrappable
 	// statement.
-	var cands []progPoint
-	for _, pp := range points {
+	var cands []int
+	for idx, pp := range points {
 		if wrappable(pp.next()) {
-			cands = append(cands, pp)
+			cands = append(cands, idx)
 		}
 	}
 	if len(cands) == 0 {
 		return Application{}, false
 	}
-	pp := cands[mc.rng.Intn(len(cands))]
+	idx := cands[mc.rng.Intn(len(cands))]
+	pp := points[idx]
+	if !mc.cloned[i] {
+		m = mc.ensureCloned(i)
+		pp = mc.collectPoints(m)[idx]
+	}
 	wrapped := pp.next()
 
-	sy := newSynth(mc, mc.scopeWithFields(pp.scope))
+	sy := newSynth(mc, mc.scopeWithFields(mc.scopeAt(m, idx)))
 	sy.readOnly = true
 
 	execName := mc.fresh("exec")
@@ -68,6 +85,7 @@ func (mc *mutationCtx) statementWrapper(m *ast.Method) (Application, bool) {
 
 	// Replace the wrapped statement with the whole construct.
 	pp.replaceNext(&ast.Block{Stmts: stmts})
+	mc.touch(m.Name)
 	return Application{Mutator: SW, Method: m.Name, Detail: "statement wrapped"}, true
 }
 
@@ -154,7 +172,8 @@ func hasLooseJump(s ast.Stmt) bool {
 // pre-invokes m thousands of times with the control field set — the
 // Figure 2 mechanism that gets m JIT-compiled (and speculated on)
 // before its real call.
-func (mc *mutationCtx) methodInvocator(m *ast.Method) (Application, bool) {
+func (mc *mutationCtx) methodInvocator(i int) (Application, bool) {
+	m := mc.prog.Class.Methods[i]
 	if m.Name == "main" {
 		return Application{}, false
 	}
@@ -163,6 +182,14 @@ func (mc *mutationCtx) methodInvocator(m *ast.Method) (Application, bool) {
 		return Application{}, false
 	}
 	site := sites[mc.rng.Intn(len(sites))]
+
+	// Clone both edited methods now, and take the site point before
+	// the prologue below shifts m's body (when the site is in m
+	// itself, the point must index the pre-prologue statement list).
+	m = mc.ensureCloned(i)
+	siteM := mc.ensureCloned(site.mIdx)
+	sp := mc.collectPoints(siteM)[site.ordinal]
+	siteScope := mc.scopeAt(siteM, site.ordinal)
 
 	// Control field, default false.
 	ctrlName := mc.fresh("ctl")
@@ -193,7 +220,7 @@ func (mc *mutationCtx) methodInvocator(m *ast.Method) (Application, bool) {
 	// Pre-invocation loop before the chosen call site:
 	//   ctl = true; m(<synthesized args>); ctl = false;
 	// Args are synthesized from variables in scope at the site.
-	siteSy := newSynth(mc, mc.scopeWithFields(site.point.scope))
+	siteSy := newSynth(mc, mc.scopeWithFields(siteScope))
 	call := &ast.CallExpr{Name: m.Name}
 	for _, p := range m.Params {
 		call.Args = append(call.Args, siteSy.expr(p.Type))
@@ -215,32 +242,35 @@ func (mc *mutationCtx) methodInvocator(m *ast.Method) (Application, bool) {
 	stmts = append(stmts, pre...)
 	stmts = append(stmts, loop)
 	stmts = append(stmts, post...)
-	site.point.insert(stmts...)
+	sp.insert(stmts...)
+	mc.touch(m.Name)
+	mc.touch(siteM.Name) // the call-site method's body changed too
 
 	return Application{Mutator: MI, Method: m.Name,
-		Detail: fmt.Sprintf("pre-invoked before call in %s", site.inMethod)}, true
+		Detail: fmt.Sprintf("pre-invoked before call in %s", siteM.Name)}, true
 }
 
-// callSite is a statement position directly containing a call to a
-// target method.
+// callSite names a statement position directly containing a call to a
+// target method: method mIdx's point list, entry ordinal. Ordinals
+// stay valid across cloning (the clone is structurally identical).
 type callSite struct {
-	point    progPoint
-	inMethod string
+	mIdx    int
+	ordinal int
 }
 
 // callSites finds every statement in the program whose expressions
 // call the named method, returning the insertion point just before it.
 func (mc *mutationCtx) callSites(name string) []callSite {
 	var sites []callSite
-	for _, m := range mc.prog.Class.Methods {
+	for mi, m := range mc.prog.Class.Methods {
 		points := mc.collectPoints(m)
-		for _, pp := range points {
+		for idx, pp := range points {
 			s := pp.next()
 			if s == nil {
 				continue
 			}
 			if stmtCalls(s, name) {
-				sites = append(sites, callSite{point: pp, inMethod: m.Name})
+				sites = append(sites, callSite{mIdx: mi, ordinal: idx})
 			}
 		}
 	}

@@ -1,0 +1,106 @@
+package sem
+
+import (
+	"artemis/internal/lang/ast"
+)
+
+// AnalyzeDelta re-analyzes only the methods named in changed, reusing
+// base's per-method results for everything else. It is the incremental
+// fast path for JoNM mutants: prog must be a clone of base.Prog whose
+// unchanged methods still carry the annotations written when base was
+// computed (ast.CloneProgram preserves them), and whose divergence from
+// the seed is limited to what JoNM produces — edited method bodies and
+// fields appended after the seed's (never reordered, removed, or
+// re-typed). Those structural invariants are asserted, not assumed: a
+// violation returns an error instead of silently mis-analyzing.
+//
+// The result is identical to Analyze(prog): full analysis visits
+// methods independently given the global field/method tables, so
+// re-checking only the changed bodies and adopting base's MethodInfo
+// for untouched ones reproduces the same Info and the same in-place
+// AST annotations.
+func AnalyzeDelta(prog *ast.Program, base *Info, changed map[string]bool) (*Info, error) {
+	cls, bcls := prog.Class, base.Prog.Class
+
+	c := &checker{
+		prog:    prog,
+		fields:  map[string]int{},
+		methods: map[string]int{},
+		info:    &Info{Prog: prog, Methods: map[string]*MethodInfo{}},
+	}
+
+	// Structural stability assertions (the "indices are stable" contract
+	// the bytecode cache depends on).
+	if len(cls.Methods) != len(bcls.Methods) {
+		return nil, c.errorf(cls.Pos, "delta analysis: method count changed (%d -> %d)", len(bcls.Methods), len(cls.Methods))
+	}
+	for i, m := range cls.Methods {
+		if bcls.Methods[i].Name != m.Name {
+			return nil, c.errorf(m.Pos, "delta analysis: method %d renamed (%s -> %s)", i, bcls.Methods[i].Name, m.Name)
+		}
+	}
+	if len(cls.Fields) < len(bcls.Fields) {
+		return nil, c.errorf(cls.Pos, "delta analysis: fields removed (%d -> %d)", len(bcls.Fields), len(cls.Fields))
+	}
+	for i, bf := range bcls.Fields {
+		f := cls.Fields[i]
+		if f.Name != bf.Name || !f.Type.Equal(bf.Type) {
+			return nil, c.errorf(f.Pos, "delta analysis: field %d changed (%s %s -> %s %s)", i, bf.Type, bf.Name, f.Type, f.Name)
+		}
+	}
+
+	for i, f := range cls.Fields {
+		if _, dup := c.fields[f.Name]; dup {
+			return nil, c.errorf(f.Pos, "duplicate field %s", f.Name)
+		}
+		c.fields[f.Name] = i
+	}
+	for i, m := range cls.Methods {
+		if _, dup := c.methods[m.Name]; dup {
+			return nil, c.errorf(m.Pos, "duplicate method %s", m.Name)
+		}
+		c.methods[m.Name] = i
+	}
+
+	// Only appended fields carry initializers the base analysis has not
+	// seen; check (and annotate) exactly those. Seed fields keep their
+	// cloned annotations.
+	for _, f := range cls.Fields[len(bcls.Fields):] {
+		if f.Init == nil {
+			continue
+		}
+		bad := false
+		ast.WalkExprs(f.Init, func(e ast.Expr) {
+			if _, isCall := e.(*ast.CallExpr); isCall {
+				bad = true
+			}
+		})
+		if bad {
+			return nil, c.errorf(f.Pos, "field initializer for %s may not call methods", f.Name)
+		}
+		c.method = nil
+		c.locals, c.marks = c.locals[:0], c.marks[:0]
+		t, err := c.expr(f.Init)
+		if err != nil {
+			return nil, err
+		}
+		if !assignable(f.Type, t) {
+			return nil, c.errorf(f.Pos, "cannot initialize %s field %s with %s", f.Type, f.Name, t)
+		}
+	}
+
+	for i, m := range cls.Methods {
+		if changed[m.Name] {
+			if err := c.checkMethod(i, m); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		bi := base.Methods[m.Name]
+		if bi == nil || bi.Index != i {
+			return nil, c.errorf(m.Pos, "delta analysis: base info missing or misindexed for %s", m.Name)
+		}
+		c.info.Methods[m.Name] = bi
+	}
+	return c.info, nil
+}

@@ -73,11 +73,16 @@ type checker struct {
 	info    *Info
 
 	// Per-method state.
-	method   *ast.Method
-	minfo    *MethodInfo
-	scopes   []map[string]int // name -> slot
-	loops    int              // loop nesting depth (for break/continue)
-	switches int              // switch nesting depth (for break)
+	method *ast.Method
+	minfo  *MethodInfo
+	// Flat scope chain: locals in declaration order, marks holding
+	// scope boundaries. Redeclaration anywhere in the chain is an
+	// error (no shadowing), so linear scans resolve exactly like the
+	// scope-stack of maps did, without a map allocation per block.
+	locals   []localEnt
+	marks    []int
+	loops    int // loop nesting depth (for break/continue)
+	switches int // switch nesting depth (for break)
 }
 
 func (c *checker) errorf(pos ast.Pos, format string, args ...any) error {
@@ -122,7 +127,7 @@ func (c *checker) run() (*Info, error) {
 			return nil, c.errorf(f.Pos, "field initializer for %s may not call methods", f.Name)
 		}
 		c.method = nil
-		c.scopes = []map[string]int{{}}
+		c.locals, c.marks = c.locals[:0], c.marks[:0]
 		t, err := c.expr(f.Init)
 		if err != nil {
 			return nil, err
@@ -144,7 +149,7 @@ func (c *checker) checkMethod(index int, m *ast.Method) error {
 	c.method = m
 	c.minfo = &MethodInfo{Index: index}
 	c.info.Methods[m.Name] = c.minfo
-	c.scopes = []map[string]int{{}}
+	c.locals, c.marks = c.locals[:0], c.marks[:0]
 	c.loops, c.switches = 0, 0
 
 	for _, p := range m.Params {
@@ -161,25 +166,31 @@ func (c *checker) checkMethod(index int, m *ast.Method) error {
 	return nil
 }
 
+// localEnt is one visible local in the flat scope chain.
+type localEnt struct {
+	name string
+	slot int
+}
+
 // declare adds a local to the current scope and returns its slot.
 func (c *checker) declare(pos ast.Pos, name string, t ast.Type) (int, error) {
-	for _, s := range c.scopes {
-		if _, dup := s[name]; dup {
+	for i := range c.locals {
+		if c.locals[i].name == name {
 			return 0, c.errorf(pos, "variable %s redeclared", name)
 		}
 	}
 	slot := len(c.minfo.Locals)
 	c.minfo.Locals = append(c.minfo.Locals, t)
-	c.scopes[len(c.scopes)-1][name] = slot
+	c.locals = append(c.locals, localEnt{name, slot})
 	return slot, nil
 }
 
 // lookup resolves a name to (local slot) or (field index).
 func (c *checker) lookup(id *ast.Ident) (ast.Type, error) {
-	for i := len(c.scopes) - 1; i >= 0; i-- {
-		if slot, ok := c.scopes[i][id.Name]; ok {
-			id.Ref, id.Index = ast.RefLocal, slot
-			return c.minfo.Locals[slot], nil
+	for i := len(c.locals) - 1; i >= 0; i-- {
+		if c.locals[i].name == id.Name {
+			id.Ref, id.Index = ast.RefLocal, c.locals[i].slot
+			return c.minfo.Locals[c.locals[i].slot], nil
 		}
 	}
 	if fi, ok := c.fields[id.Name]; ok {
@@ -189,8 +200,12 @@ func (c *checker) lookup(id *ast.Ident) (ast.Type, error) {
 	return ast.TypeInvalid, c.errorf(id.Pos, "undefined name %s", id.Name)
 }
 
-func (c *checker) pushScope() { c.scopes = append(c.scopes, map[string]int{}) }
-func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+func (c *checker) pushScope() { c.marks = append(c.marks, len(c.locals)) }
+func (c *checker) popScope() {
+	n := c.marks[len(c.marks)-1]
+	c.marks = c.marks[:len(c.marks)-1]
+	c.locals = c.locals[:n]
+}
 
 // block checks a block; ownScope is false for method bodies (params
 // share the scope).

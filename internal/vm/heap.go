@@ -2,6 +2,7 @@ package vm
 
 import (
 	"fmt"
+	"math/bits"
 
 	"artemis/internal/lang/ast"
 )
@@ -36,6 +37,80 @@ type Heap struct {
 	// gcStats
 	Collections int64
 	Freed       int64
+
+	// pool, when non-nil, recycles Data backing slices (bucketed by
+	// power-of-two capacity) and Array headers across frees and runs.
+	// Recycled memory is fully re-zeroed on reuse, so a pooled heap is
+	// observably identical to a fresh one. Enabled for Scratch-owned
+	// heaps (campaign workers); plain NewHeap heaps never pool.
+	pool *heapPool
+}
+
+// heapPool holds retired allocations for reuse.
+type heapPool struct {
+	data [48][][]int64 // bucket i holds slices with cap == 1<<i
+	arrs []*Array
+}
+
+// poolClass returns the bucket index for an allocation of need words:
+// the smallest c with 1<<c >= need.
+func poolClass(need int64) int {
+	return bits.Len64(uint64(need - 1))
+}
+
+func (h *Heap) enablePool() {
+	if h.pool == nil {
+		h.pool = &heapPool{}
+	}
+}
+
+// allocData returns a zeroed data slice of length need, recycling from
+// the pool when possible.
+func (h *Heap) allocData(need int64) []int64 {
+	if h.pool != nil {
+		c := poolClass(need)
+		if l := h.pool.data[c]; len(l) > 0 {
+			d := l[len(l)-1][:need]
+			h.pool.data[c] = l[:len(l)-1]
+			clear(d)
+			return d
+		}
+		return make([]int64, need, int64(1)<<c)
+	}
+	return make([]int64, need)
+}
+
+// retire returns a freed object's memory to the pool.
+func (h *Heap) retire(a *Array) {
+	if h.pool == nil {
+		return
+	}
+	if c := cap(a.Data); c > 0 && c&(c-1) == 0 {
+		h.pool.data[poolClass(int64(c))] = append(h.pool.data[poolClass(int64(c))], a.Data[:0])
+	}
+	a.Data = nil
+	h.pool.arrs = append(h.pool.arrs, a)
+}
+
+// Reset empties the heap for a fresh run, retiring every object's
+// backing memory into the pool and zeroing all accounting, so the heap
+// behaves exactly like NewHeap(limitWords) from the program's point of
+// view.
+func (h *Heap) Reset(limitWords int64) {
+	for i, o := range h.objects {
+		if o != nil {
+			h.retire(o)
+			h.objects[i] = nil
+		}
+	}
+	h.objects = h.objects[:0]
+	h.free = h.free[:0]
+	h.limitWords = limitWords
+	h.usedWords = 0
+	h.peakWords = 0
+	h.allocs = 0
+	h.Collections = 0
+	h.Freed = 0
 }
 
 // NewHeap returns a heap limited to limitWords payload words
@@ -69,7 +144,14 @@ func (h *Heap) AllocsSinceGC() int64 { return h.allocs }
 // responsible for triggering GC / OOM policy; Alloc only tracks
 // accounting.
 func (h *Heap) Alloc(elem ast.Kind, n int64) int64 {
-	a := &Array{Elem: elem, Data: make([]int64, n+1)}
+	var a *Array
+	if h.pool != nil && len(h.pool.arrs) > 0 {
+		a = h.pool.arrs[len(h.pool.arrs)-1]
+		h.pool.arrs = h.pool.arrs[:len(h.pool.arrs)-1]
+		*a = Array{Elem: elem, Data: h.allocData(n + 1)}
+	} else {
+		a = &Array{Elem: elem, Data: h.allocData(n + 1)}
+	}
 	var idx int
 	if len(h.free) > 0 {
 		idx = h.free[len(h.free)-1]
@@ -154,6 +236,7 @@ func (h *Heap) Collect(roots func(yield func(v int64))) error {
 			h.free = append(h.free, i)
 			h.usedWords -= n + 1
 			h.Freed++
+			h.retire(o)
 		}
 	}
 	h.allocs = 0

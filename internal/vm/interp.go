@@ -8,33 +8,47 @@ import (
 )
 
 // interpLoop interprets method st.Index starting at pc with the given
-// frame state (locals and operand stack — non-zero pc and stack occur
-// when resuming after a deoptimization). It updates profiling data when
-// profiled is true, drives back-edge counters, and performs OSR when
-// the policy asks for it.
+// frame state (locals and operand stack — non-zero pc and a non-nil
+// stack occur when resuming after a deoptimization). It updates
+// profiling data when profiled is true, drives back-edge counters, and
+// performs OSR when the policy asks for it.
+//
+// Dispatch runs on the method's pre-decoded instruction stream
+// (bytecode.DInstr): width and condition variants are fused into the
+// opcode, callee arity/void-ness and loop ids are pre-resolved, and the
+// operand stack is a fixed MaxStack-capacity window indexed by sp
+// (the verifier guarantees depth never exceeds MaxStack). The decoded
+// stream maps 1:1 onto Method.Code, so pc values — deopt resume
+// points, profile keys — mean the same thing they always did.
 func (vm *VM) interpLoop(st *MethodState, pc int, locals, stack []int64, tv *TempVector, profiled bool) (int64, *Unwind) {
 	m := vm.prog.Methods[st.Index]
-	code := m.Code
-	if stack == nil {
-		stack = make([]int64, 0, m.MaxStack)
+	code := m.Decoded
+	sp := len(stack)
+	var mark arenaMark
+	ownStack := stack == nil
+	if ownStack {
+		mark = vm.arena.mark()
+		stack = vm.arena.alloc(m.MaxStack)
+	} else if cap(stack) < m.MaxStack {
+		// Deopt resume handed us a shallow backing array; regrow once.
+		ns := make([]int64, m.MaxStack)
+		copy(ns, stack)
+		stack = ns
 	}
+	stack = stack[:cap(stack)]
 
-	unregister := vm.RegisterRoots(func(yield func(int64)) {
-		for _, v := range locals {
-			yield(v)
+	// Register this frame as a GC root set. Only stack[:sp] is scanned,
+	// and sp is synced into the frame before every operation that can
+	// trigger a collection, so the arena's non-zeroed memory above sp is
+	// never observed.
+	fi := len(vm.frames)
+	vm.frames = append(vm.frames, interpFrame{locals: locals, stack: stack, sp: sp})
+	defer func() {
+		vm.frames = vm.frames[:fi]
+		if ownStack {
+			vm.arena.release(mark)
 		}
-		for _, v := range stack {
-			yield(v)
-		}
-	})
-	defer unregister()
-
-	pop := func() int64 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		return v
-	}
-	push := func(v int64) { stack = append(stack, v) }
+	}()
 
 	for {
 		vm.steps++
@@ -43,111 +57,244 @@ func (vm *VM) interpLoop(st *MethodState, pc int, locals, stack []int64, tv *Tem
 		}
 		in := code[pc]
 		switch in.Op {
-		case bytecode.OpNop:
+		case bytecode.DNop:
 			pc++
-		case bytecode.OpConst:
-			push(in.A)
+		case bytecode.DConst:
+			stack[sp] = in.A
+			sp++
 			pc++
-		case bytecode.OpLoad:
-			push(locals[in.A])
+		case bytecode.DLoad:
+			stack[sp] = locals[in.A]
+			sp++
 			pc++
-		case bytecode.OpStore:
-			locals[in.A] = pop()
+		case bytecode.DStore:
+			sp--
+			locals[in.A] = stack[sp]
 			pc++
-		case bytecode.OpPop:
-			pop()
+		case bytecode.DPop:
+			sp--
 			pc++
-		case bytecode.OpDup:
-			push(stack[len(stack)-1])
+		case bytecode.DDup:
+			stack[sp] = stack[sp-1]
+			sp++
 			pc++
-		case bytecode.OpDup2:
-			a, b := stack[len(stack)-2], stack[len(stack)-1]
-			push(a)
-			push(b)
+		case bytecode.DDup2:
+			stack[sp] = stack[sp-2]
+			stack[sp+1] = stack[sp-1]
+			sp += 2
 			pc++
-		case bytecode.OpGetField:
-			push(vm.fields[in.A])
+		case bytecode.DGetField:
+			stack[sp] = vm.fields[in.A]
+			sp++
 			pc++
-		case bytecode.OpPutField:
-			vm.fields[in.A] = pop()
+		case bytecode.DPutField:
+			sp--
+			vm.fields[in.A] = stack[sp]
 			pc++
-		case bytecode.OpNewArr:
-			n := pop()
-			h, err := vm.NewArray(in.Kind, int64(int32(n)))
+		case bytecode.DNewArr:
+			sp--
+			n := stack[sp]
+			vm.frames[fi].sp = sp
+			h, err := vm.NewArray(ast.Kind(in.Kind), int64(int32(n)))
 			if err != nil {
 				return 0, vm.throw(st, err)
 			}
-			push(h)
+			stack[sp] = h
+			sp++
 			pc++
-		case bytecode.OpALoad:
-			idx := pop()
-			ref := pop()
-			v, err := vm.ArrayLoad(ref, int64(int32(idx)))
+		case bytecode.DALoad:
+			sp--
+			v, err := vm.ArrayLoad(stack[sp-1], int64(int32(stack[sp])))
 			if err != nil {
 				return 0, vm.throw(st, err)
 			}
-			push(v)
+			stack[sp-1] = v
 			pc++
-		case bytecode.OpAStore:
-			val := pop()
-			idx := pop()
-			ref := pop()
-			if err := vm.ArrayStore(ref, int64(int32(idx)), val); err != nil {
+		case bytecode.DAStore:
+			sp -= 3
+			if err := vm.ArrayStore(stack[sp], int64(int32(stack[sp+1])), stack[sp+2]); err != nil {
 				return 0, vm.throw(st, err)
 			}
 			pc++
-		case bytecode.OpArrLen:
-			ref := pop()
-			n, err := vm.ArrayLen(ref)
+		case bytecode.DArrLen:
+			n, err := vm.ArrayLen(stack[sp-1])
 			if err != nil {
 				return 0, vm.throw(st, err)
 			}
-			push(n)
+			stack[sp-1] = n
 			pc++
-		case bytecode.OpAdd, bytecode.OpSub, bytecode.OpMul, bytecode.OpDiv,
-			bytecode.OpRem, bytecode.OpAnd, bytecode.OpOr, bytecode.OpXor,
-			bytecode.OpShl, bytecode.OpShr, bytecode.OpUshr:
-			b := pop()
-			a := pop()
-			v, err := EvalBinary(in.Op, in.Wide, a, b)
-			if err != nil {
-				return 0, vm.throw(st, err)
+
+		case bytecode.DAddL:
+			sp--
+			stack[sp-1] += stack[sp]
+			pc++
+		case bytecode.DAddI:
+			sp--
+			stack[sp-1] = int64(int32(stack[sp-1]) + int32(stack[sp]))
+			pc++
+		case bytecode.DSubL:
+			sp--
+			stack[sp-1] -= stack[sp]
+			pc++
+		case bytecode.DSubI:
+			sp--
+			stack[sp-1] = int64(int32(stack[sp-1]) - int32(stack[sp]))
+			pc++
+		case bytecode.DMulL:
+			sp--
+			stack[sp-1] *= stack[sp]
+			pc++
+		case bytecode.DMulI:
+			sp--
+			stack[sp-1] = int64(int32(stack[sp-1]) * int32(stack[sp]))
+			pc++
+		case bytecode.DDivL:
+			sp--
+			b := stack[sp]
+			a := stack[sp-1]
+			if b == 0 {
+				return 0, vm.throw(st, &RuntimeError{Kind: TrapDivByZero, Msg: "/ by zero"})
 			}
-			push(v)
-			pc++
-		case bytecode.OpNeg:
-			a := pop()
-			if in.Wide {
-				push(-a)
+			if a == -1<<63 && b == -1 {
+				stack[sp-1] = a // Java wraps; Go would panic
 			} else {
-				push(int64(int32(-a)))
+				stack[sp-1] = a / b
 			}
 			pc++
-		case bytecode.OpBitNot:
-			a := pop()
-			if in.Wide {
-				push(^a)
+		case bytecode.DDivI:
+			sp--
+			y := int32(stack[sp])
+			x := int32(stack[sp-1])
+			if y == 0 {
+				return 0, vm.throw(st, &RuntimeError{Kind: TrapDivByZero, Msg: "/ by zero"})
+			}
+			if x == -1<<31 && y == -1 {
+				stack[sp-1] = int64(x)
 			} else {
-				push(int64(int32(^a)))
+				stack[sp-1] = int64(x / y)
 			}
 			pc++
-		case bytecode.OpL2I:
-			push(int64(int32(pop())))
-			pc++
-		case bytecode.OpCmpSet:
-			b := pop()
-			a := pop()
-			if in.Cond.Eval(a, b) {
-				push(1)
+		case bytecode.DRemL:
+			sp--
+			b := stack[sp]
+			a := stack[sp-1]
+			if b == 0 {
+				return 0, vm.throw(st, &RuntimeError{Kind: TrapDivByZero, Msg: "/ by zero"})
+			}
+			if a == -1<<63 && b == -1 {
+				stack[sp-1] = 0
 			} else {
-				push(0)
+				stack[sp-1] = a % b
 			}
 			pc++
-		case bytecode.OpGoto:
+		case bytecode.DRemI:
+			sp--
+			y := int32(stack[sp])
+			x := int32(stack[sp-1])
+			if y == 0 {
+				return 0, vm.throw(st, &RuntimeError{Kind: TrapDivByZero, Msg: "/ by zero"})
+			}
+			if x == -1<<31 && y == -1 {
+				stack[sp-1] = 0
+			} else {
+				stack[sp-1] = int64(x % y)
+			}
+			pc++
+		case bytecode.DAndL:
+			sp--
+			stack[sp-1] &= stack[sp]
+			pc++
+		case bytecode.DAndI:
+			sp--
+			stack[sp-1] = int64(int32(stack[sp-1]) & int32(stack[sp]))
+			pc++
+		case bytecode.DOrL:
+			sp--
+			stack[sp-1] |= stack[sp]
+			pc++
+		case bytecode.DOrI:
+			sp--
+			stack[sp-1] = int64(int32(stack[sp-1]) | int32(stack[sp]))
+			pc++
+		case bytecode.DXorL:
+			sp--
+			stack[sp-1] ^= stack[sp]
+			pc++
+		case bytecode.DXorI:
+			sp--
+			stack[sp-1] = int64(int32(stack[sp-1]) ^ int32(stack[sp]))
+			pc++
+		case bytecode.DShlL:
+			sp--
+			stack[sp-1] <<= uint64(stack[sp]) & 63
+			pc++
+		case bytecode.DShlI:
+			sp--
+			stack[sp-1] = int64(int32(stack[sp-1]) << (uint32(stack[sp]) & 31))
+			pc++
+		case bytecode.DShrL:
+			sp--
+			stack[sp-1] >>= uint64(stack[sp]) & 63
+			pc++
+		case bytecode.DShrI:
+			sp--
+			stack[sp-1] = int64(int32(stack[sp-1]) >> (uint32(stack[sp]) & 31))
+			pc++
+		case bytecode.DUshrL:
+			sp--
+			stack[sp-1] = int64(uint64(stack[sp-1]) >> (uint64(stack[sp]) & 63))
+			pc++
+		case bytecode.DUshrI:
+			sp--
+			stack[sp-1] = int64(int32(uint32(int32(stack[sp-1])) >> (uint32(stack[sp]) & 31)))
+			pc++
+
+		case bytecode.DNegL:
+			stack[sp-1] = -stack[sp-1]
+			pc++
+		case bytecode.DNegI:
+			stack[sp-1] = int64(int32(-stack[sp-1]))
+			pc++
+		case bytecode.DBitNotL:
+			stack[sp-1] = ^stack[sp-1]
+			pc++
+		case bytecode.DBitNotI:
+			stack[sp-1] = int64(int32(^stack[sp-1]))
+			pc++
+		case bytecode.DL2I:
+			stack[sp-1] = int64(int32(stack[sp-1]))
+			pc++
+
+		case bytecode.DCmpEQ:
+			sp--
+			stack[sp-1] = b2i(stack[sp-1] == stack[sp])
+			pc++
+		case bytecode.DCmpNE:
+			sp--
+			stack[sp-1] = b2i(stack[sp-1] != stack[sp])
+			pc++
+		case bytecode.DCmpLT:
+			sp--
+			stack[sp-1] = b2i(stack[sp-1] < stack[sp])
+			pc++
+		case bytecode.DCmpLE:
+			sp--
+			stack[sp-1] = b2i(stack[sp-1] <= stack[sp])
+			pc++
+		case bytecode.DCmpGT:
+			sp--
+			stack[sp-1] = b2i(stack[sp-1] > stack[sp])
+			pc++
+		case bytecode.DCmpGE:
+			sp--
+			stack[sp-1] = b2i(stack[sp-1] >= stack[sp])
+			pc++
+
+		case bytecode.DGoto:
 			pc = int(in.A)
-		case bytecode.OpIfTrue:
-			v := pop()
-			taken := v != 0
+		case bytecode.DIfTrue:
+			sp--
+			taken := stack[sp] != 0
 			if profiled {
 				st.Profile.branch(pc, taken)
 			}
@@ -156,9 +303,9 @@ func (vm *VM) interpLoop(st *MethodState, pc int, locals, stack []int64, tv *Tem
 			} else {
 				pc++
 			}
-		case bytecode.OpIfFalse:
-			v := pop()
-			taken := v == 0
+		case bytecode.DIfFalse:
+			sp--
+			taken := stack[sp] == 0
 			if profiled {
 				st.Profile.branch(pc, taken)
 			}
@@ -167,29 +314,35 @@ func (vm *VM) interpLoop(st *MethodState, pc int, locals, stack []int64, tv *Tem
 			} else {
 				pc++
 			}
-		case bytecode.OpIfCmp:
-			b := pop()
-			a := pop()
-			taken := in.Cond.Eval(a, b)
-			if profiled {
-				st.Profile.branch(pc, taken)
-			}
-			if taken {
-				pc = int(in.A)
-			} else {
-				pc++
-			}
-		case bytecode.OpSwitch:
-			v := pop()
-			t := m.Switches[in.A].Lookup(int64(int32(v)))
+		case bytecode.DIfCmpEQ:
+			sp -= 2
+			pc = vm.branchTo(st, pc, int(in.A), stack[sp] == stack[sp+1], profiled)
+		case bytecode.DIfCmpNE:
+			sp -= 2
+			pc = vm.branchTo(st, pc, int(in.A), stack[sp] != stack[sp+1], profiled)
+		case bytecode.DIfCmpLT:
+			sp -= 2
+			pc = vm.branchTo(st, pc, int(in.A), stack[sp] < stack[sp+1], profiled)
+		case bytecode.DIfCmpLE:
+			sp -= 2
+			pc = vm.branchTo(st, pc, int(in.A), stack[sp] <= stack[sp+1], profiled)
+		case bytecode.DIfCmpGT:
+			sp -= 2
+			pc = vm.branchTo(st, pc, int(in.A), stack[sp] > stack[sp+1], profiled)
+		case bytecode.DIfCmpGE:
+			sp -= 2
+			pc = vm.branchTo(st, pc, int(in.A), stack[sp] >= stack[sp+1], profiled)
+
+		case bytecode.DSwitch:
+			sp--
+			t := m.Switches[in.A].Lookup(int64(int32(stack[sp])))
 			if profiled {
 				st.Profile.switchHit(pc, t)
 			}
 			pc = t
-		case bytecode.OpLoopBack:
-			head := int(in.A)
-			loopID := vm.loopByHead[st.Index][head]
+		case bytecode.DLoopBack:
 			if profiled {
+				loopID := int(in.B)
 				st.Counters.Backedge[loopID]++
 				dec := vm.policy.OnBackEdge(st, loopID)
 				if dec.Action == ActCompile {
@@ -202,6 +355,7 @@ func (vm *VM) interpLoop(st *MethodState, pc int, locals, stack []int64, tv *Tem
 						if tv != nil {
 							tv.Temps = append(tv.Temps, osrCode.Tier())
 						}
+						vm.frames[fi].sp = sp
 						res := osrCode.Run(vm, locals)
 						switch res.Kind {
 						case ExecReturn:
@@ -214,32 +368,57 @@ func (vm *VM) interpLoop(st *MethodState, pc int, locals, stack []int64, tv *Tem
 					}
 				}
 			}
-			pc = head
-		case bytecode.OpCall:
-			callee := vm.prog.Methods[in.A]
-			n := callee.NParams
-			args := make([]int64, n)
-			copy(args, stack[len(stack)-n:])
-			stack = stack[:len(stack)-n]
-			ret, uw := vm.CallMethod(int(in.A), args)
+			pc = int(in.A)
+		case bytecode.DCall:
+			n := int(in.B)
+			sp -= n
+			vm.frames[fi].sp = sp
+			ret, uw := vm.CallMethod(int(in.A), stack[sp:sp+n])
 			if uw != nil {
 				return 0, uw
 			}
-			if callee.Ret.Kind != ast.KindVoid {
-				push(ret)
+			stack[sp] = ret
+			sp++
+			pc++
+		case bytecode.DCallV:
+			n := int(in.B)
+			sp -= n
+			vm.frames[fi].sp = sp
+			if _, uw := vm.CallMethod(int(in.A), stack[sp:sp+n]); uw != nil {
+				return 0, uw
 			}
 			pc++
-		case bytecode.OpRet:
+		case bytecode.DRet:
 			return 0, nil
-		case bytecode.OpRetV:
-			return pop(), nil
-		case bytecode.OpPrint:
-			vm.Print(in.Kind, pop())
+		case bytecode.DRetV:
+			return stack[sp-1], nil
+		case bytecode.DPrint:
+			sp--
+			vm.Print(ast.Kind(in.Kind), stack[sp])
 			pc++
 		default:
-			panic(fmt.Sprintf("vm: unknown opcode %v at pc %d in %s", in.Op, pc, m.Name))
+			panic(fmt.Sprintf("vm: unknown decoded opcode %d at pc %d in %s", in.Op, pc, m.Name))
 		}
 	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// branchTo records a profiled two-way branch outcome and returns the
+// next pc.
+func (vm *VM) branchTo(st *MethodState, pc, target int, taken, profiled bool) int {
+	if profiled {
+		st.Profile.branch(pc, taken)
+	}
+	if taken {
+		return target
+	}
+	return pc + 1
 }
 
 // throw decorates a program-level error with the method name so the

@@ -7,7 +7,7 @@ import (
 
 func TestCounterPolicyEntry(t *testing.T) {
 	p := &CounterPolicy{EntryThresholds: []int64{100, 1000}, OSRThresholds: []int64{150, 1500}}
-	st := &MethodState{Name: "m", compiled: map[int]CompiledCode{}, osrTiers: map[int]int{}}
+	st := &MethodState{Name: "m", osrTiers: []int{0}}
 	st.Counters.Backedge = []int64{0}
 
 	st.Counters.Invocations = 50
@@ -23,7 +23,7 @@ func TestCounterPolicyEntry(t *testing.T) {
 		t.Errorf("tier-2 threshold: %+v", d)
 	}
 	// Already compiled at tier 2: no recompilation needed.
-	st.compiled[2] = nil
+	st.hiTier = 2
 	if d := p.OnEntry(st); d.Action != ActUseCompiled {
 		t.Errorf("already hot: %+v", d)
 	}
@@ -31,7 +31,7 @@ func TestCounterPolicyEntry(t *testing.T) {
 
 func TestCounterPolicyBackEdge(t *testing.T) {
 	p := &CounterPolicy{EntryThresholds: []int64{100, 1000}, OSRThresholds: []int64{150, 1500}}
-	st := &MethodState{Name: "m", compiled: map[int]CompiledCode{}, osrTiers: map[int]int{}}
+	st := &MethodState{Name: "m", osrTiers: []int{0}}
 	st.Counters.Backedge = []int64{0}
 
 	st.Counters.Backedge[0] = 10

@@ -27,6 +27,13 @@ func newMethodProfile() *MethodProfile {
 	}
 }
 
+// reset empties the profile in place, keeping map allocations for the
+// next run (Scratch reuse).
+func (p *MethodProfile) reset() {
+	clear(p.Branches)
+	clear(p.SwitchHits)
+}
+
 func (p *MethodProfile) branch(pc int, taken bool) {
 	b := p.Branches[pc]
 	if b == nil {

@@ -1,0 +1,176 @@
+package vm
+
+import (
+	"artemis/internal/bytecode"
+)
+
+// Scratch is reusable per-worker VM memory. A campaign worker creates
+// one Scratch and threads it through every vm.Config it builds; each
+// vm.New resets and adopts it, so steady-state execution reuses the
+// previous run's frame arena, heap backing arrays, field slice, and
+// per-method state instead of reallocating them millions of times.
+//
+// A Scratch must never be shared between concurrently running VMs: it
+// is exactly as single-threaded as the VM using it. Reuse is invisible
+// to program semantics — every reused buffer is reset to the state a
+// fresh allocation would have had — so results, traces, stats, and
+// metrics are byte-identical with or without a Scratch.
+type Scratch struct {
+	arena  frameArena
+	heap   *Heap
+	flds   []int64
+	states []MethodState
+	ptrs   []*MethodState
+	frames []interpFrame
+}
+
+// fieldsFor returns a zeroed field slice of length n, reusing backing.
+func (s *Scratch) fieldsFor(n int) []int64 {
+	if cap(s.flds) < n {
+		s.flds = make([]int64, n)
+	} else {
+		s.flds = s.flds[:n]
+		clear(s.flds)
+	}
+	return s.flds
+}
+
+// heapFor returns the reusable heap, reset to an empty heap with the
+// given limit and with data-slice pooling enabled.
+func (s *Scratch) heapFor(limitWords int64) *Heap {
+	if s.heap == nil {
+		s.heap = NewHeap(limitWords)
+		s.heap.enablePool()
+		return s.heap
+	}
+	s.heap.Reset(limitWords)
+	return s.heap
+}
+
+// statesFor returns per-method states for prog, reusing the previous
+// run's allocations (including profile maps and counter slices).
+func (s *Scratch) statesFor(prog *bytecode.Program) []*MethodState {
+	n := len(prog.Methods)
+	if cap(s.states) < n {
+		s.states = make([]MethodState, n)
+		s.ptrs = make([]*MethodState, n)
+	} else {
+		s.states = s.states[:n]
+		s.ptrs = s.ptrs[:n]
+	}
+	for i := range s.states {
+		s.ptrs[i] = &s.states[i]
+		resetMethodState(&s.states[i], prog.Methods[i], i)
+	}
+	return s.ptrs
+}
+
+// resetMethodState (re)initializes one MethodState in place to exactly
+// the state New would have built fresh for method m.
+func resetMethodState(st *MethodState, m *bytecode.Method, i int) {
+	st.Name = m.Name
+	st.Index = i
+	st.Counters.Invocations = 0
+	st.Counters.Backedge = resizeZero(st.Counters.Backedge, len(m.Loops))
+	if st.Profile == nil {
+		st.Profile = newMethodProfile()
+	} else {
+		st.Profile.reset()
+	}
+	st.compiled = [maxTiers]CompiledCode{}
+	st.hiTier = 0
+	st.failedTiers = [maxTiers]bool{}
+	st.osr = resizeNil(st.osr, len(m.Loops))
+	st.osrTiers = resizeZeroInt(st.osrTiers, len(m.Loops))
+	st.DeoptCount = 0
+	st.Compilations = 0
+	st.specDisabled = false
+}
+
+func resizeZero(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+func resizeZeroInt(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+func resizeNil(s []CompiledCode, n int) []CompiledCode {
+	if cap(s) < n {
+		return make([]CompiledCode, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Frame arena
+// ---------------------------------------------------------------------------
+
+// frameArena hands out locals and operand-stack slices for interpreter
+// frames from chunked blocks that never move (so slices stay valid for
+// the frame's whole lifetime) with LIFO mark/release. Allocation does
+// NOT zero: every caller either clears the slice (locals) or writes
+// each slot before it becomes observable (operand stacks are only read
+// below sp, and only written slots are ever below sp).
+type frameArena struct {
+	blocks [][]int64
+	block  int // index of the block currently allocated from
+	off    int // next free word in blocks[block]
+}
+
+const arenaBlockWords = 16384
+
+type arenaMark struct{ block, off int }
+
+func (a *frameArena) reset() { a.block, a.off = 0, 0 }
+
+func (a *frameArena) mark() arenaMark { return arenaMark{a.block, a.off} }
+
+// release returns the arena to a previous mark. Marks must be released
+// in LIFO order (guaranteed by the strictly nested call structure).
+func (a *frameArena) release(m arenaMark) { a.block, a.off = m.block, m.off }
+
+// alloc returns an n-word slice with capacity clamped to n (so an
+// accidental append cannot grow into a neighbouring frame).
+func (a *frameArena) alloc(n int) []int64 {
+	if n > arenaBlockWords {
+		// Oversized frame (pathological MaxStack/locals): fall back to
+		// a dedicated allocation rather than growing the block size.
+		return make([]int64, n)
+	}
+	for {
+		if a.block < len(a.blocks) {
+			b := a.blocks[a.block]
+			if a.off+n <= len(b) {
+				s := b[a.off : a.off+n : a.off+n]
+				a.off += n
+				return s
+			}
+			a.block++
+			a.off = 0
+			continue
+		}
+		a.blocks = append(a.blocks, make([]int64, arenaBlockWords))
+	}
+}
+
+// interpFrame is one live interpreter frame, scanned by the GC: locals
+// in full, stack up to sp. The interpreter syncs sp into the frame
+// before every operation that can trigger a collection.
+type interpFrame struct {
+	locals []int64
+	stack  []int64
+	sp     int
+}

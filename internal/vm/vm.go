@@ -55,6 +55,12 @@ type Config struct {
 	// DeoptLimit disables speculation for a method after this many
 	// deopts (default 4).
 	DeoptLimit int
+
+	// Scratch, when non-nil, supplies reusable per-worker memory
+	// (frame arena, heap backing, per-method state). It must not be
+	// shared between concurrently running VMs. Purely a performance
+	// knob: results are byte-identical with or without it.
+	Scratch *Scratch
 }
 
 func (c Config) withDefaults() Config {
@@ -82,18 +88,28 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// maxTiers bounds the tier index space of the per-method code caches.
+// Real tier numbers come from threshold vectors (at most 3 entries in
+// every profile) and are clamped to JITCompiler.MaxTier, so 8 is far
+// above anything reachable.
+const maxTiers = 8
+
 // MethodState is the VM's per-method runtime state: counters,
-// profiling data, and compiled code caches.
+// profiling data, and compiled code caches. The caches are dense
+// arrays/slices rather than maps: tier and loop-id spaces are tiny and
+// known up front, and OnEntry/OnBackEdge consult them on every call
+// and back edge.
 type MethodState struct {
 	Name     string
 	Index    int
 	Counters Counters
 	Profile  *MethodProfile
 
-	compiled    map[int]CompiledCode // tier -> regular entry
-	osr         map[int]CompiledCode // loopID -> OSR entry (best tier)
-	osrTiers    map[int]int          // loopID -> tier of cached OSR code
-	failedTiers map[int]bool         // tiers that failed to compile (non-crash)
+	compiled    [maxTiers]CompiledCode // tier -> regular entry
+	hiTier      int                    // highest tier with cached code (0 = none)
+	failedTiers [maxTiers]bool         // tiers that failed to compile (non-crash)
+	osr         []CompiledCode         // loopID -> OSR entry (best tier)
+	osrTiers    []int                  // loopID -> tier of cached OSR code
 
 	DeoptCount   int
 	Compilations int64
@@ -102,19 +118,11 @@ type MethodState struct {
 
 // HighestTier returns the highest tier with cached compiled code
 // (0 = none).
-func (st *MethodState) HighestTier() int {
-	best := 0
-	for t := range st.compiled {
-		if t > best {
-			best = t
-		}
-	}
-	return best
-}
+func (st *MethodState) HighestTier() int { return st.hiTier }
 
 func (st *MethodState) best() CompiledCode {
-	if t := st.HighestTier(); t > 0 {
-		return st.compiled[t]
+	if st.hiTier > 0 {
+		return st.compiled[st.hiTier]
 	}
 	return nil
 }
@@ -154,25 +162,29 @@ type VM struct {
 	stepLimit     int64
 	depth         int
 
-	roots   []func(yield func(int64)) // active frame root scanners
+	roots   []func(yield func(int64)) // active compiled-frame root scanners
+	frames  []interpFrame             // active interpreter frames (GC roots)
 	unwound *Unwind                   // sticky first unwind (for crash precedence)
 
 	compilations int64
 	deopts       int64
 	osrEntries   int64
 
-	// loopByHead maps, per method, a loop header pc to its loop id.
-	loopByHead []map[int]int
+	arena   *frameArena // interpreter locals/stack allocator
+	scratch *Scratch    // nil unless Config.Scratch was set
 }
 
 // New creates a VM for prog.
 func New(cfg Config, prog *bytecode.Program) *VM {
 	cfg = cfg.withDefaults()
+	// Compiler-built programs are already pre-decoded; this covers
+	// hand-assembled programs (tests). Programs shared across worker
+	// goroutines always come from Compile, so this is never a write
+	// race in parallel campaigns.
+	prog.Predecode()
 	vm := &VM{
 		cfg:       cfg,
 		prog:      prog,
-		fields:    make([]int64, len(prog.Fields)),
-		heap:      NewHeap(cfg.HeapWords),
 		out:       newOutput(cfg.MaxOutputLines),
 		stepLimit: cfg.StepLimit,
 	}
@@ -182,23 +194,24 @@ func New(cfg Config, prog *bytecode.Program) *VM {
 	if cfg.CollectStats {
 		vm.stats = &ExecStats{}
 	}
-	for i, m := range prog.Methods {
-		st := &MethodState{
-			Name:        m.Name,
-			Index:       i,
-			Profile:     newMethodProfile(),
-			compiled:    map[int]CompiledCode{},
-			osr:         map[int]CompiledCode{},
-			osrTiers:    map[int]int{},
-			failedTiers: map[int]bool{},
+	if s := cfg.Scratch; s != nil {
+		vm.scratch = s
+		vm.arena = &s.arena
+		vm.arena.reset()
+		vm.fields = s.fieldsFor(len(prog.Fields))
+		vm.heap = s.heapFor(cfg.HeapWords)
+		vm.frames = s.frames[:0]
+		vm.methods = s.statesFor(prog)
+	} else {
+		vm.arena = &frameArena{}
+		vm.fields = make([]int64, len(prog.Fields))
+		vm.heap = NewHeap(cfg.HeapWords)
+		vm.methods = make([]*MethodState, len(prog.Methods))
+		for i, m := range prog.Methods {
+			st := &MethodState{}
+			resetMethodState(st, m, i)
+			vm.methods[i] = st
 		}
-		st.Counters.Backedge = make([]int64, len(m.Loops))
-		vm.methods = append(vm.methods, st)
-		byHead := map[int]int{}
-		for _, l := range m.Loops {
-			byHead[l.HeadPC] = l.ID
-		}
-		vm.loopByHead = append(vm.loopByHead, byHead)
 	}
 	vm.policy = cfg.Policy
 	if vm.policy == nil {
@@ -248,6 +261,10 @@ func (vm *VM) Run() *Result {
 		res.Stats = vm.stats
 	}
 	vm.out.Steps = vm.steps
+	if vm.scratch != nil {
+		// Hand grown frame capacity back for the next run.
+		vm.scratch.frames = vm.frames[:0]
+	}
 	return res
 }
 
@@ -296,8 +313,11 @@ func (vm *VM) timeoutUnwind() *Unwind {
 // consequences (used for <clinit>).
 func (vm *VM) interpOnly(mi int) *Unwind {
 	m := vm.prog.Methods[mi]
-	locals := make([]int64, len(m.Locals))
+	mark := vm.arena.mark()
+	locals := vm.arena.alloc(len(m.Locals))
+	clear(locals)
 	_, uw := vm.interpLoop(vm.methods[mi], 0, locals, nil, nil, false)
+	vm.arena.release(mark)
 	return uw
 }
 
@@ -363,9 +383,12 @@ func (vm *VM) CallMethod(mi int, args []int64) (int64, *Unwind) {
 			tv.Temps = append(tv.Temps, 0)
 		}
 		m := vm.prog.Methods[mi]
-		locals := make([]int64, len(m.Locals))
+		mark := vm.arena.mark()
+		locals := vm.arena.alloc(len(m.Locals))
+		clear(locals)
 		copy(locals, args)
 		ret, uw = vm.interpLoop(st, 0, locals, nil, tv, true)
+		vm.arena.release(mark)
 	}
 	if tv != nil && vm.trace != nil {
 		vm.trace.add(*tv)
@@ -382,7 +405,10 @@ func (vm *VM) ensureCompiled(st *MethodState, tier int) (CompiledCode, *Unwind) 
 	if tier > vm.cfg.JIT.MaxTier() {
 		tier = vm.cfg.JIT.MaxTier()
 	}
-	if c, ok := st.compiled[tier]; ok {
+	if tier >= maxTiers {
+		tier = maxTiers - 1
+	}
+	if c := st.compiled[tier]; c != nil {
 		return c, nil
 	}
 	if st.failedTiers[tier] {
@@ -416,6 +442,9 @@ func (vm *VM) ensureCompiled(st *MethodState, tier int) (CompiledCode, *Unwind) 
 		vm.stats.recordCompile(code, code.Tier(), false)
 	}
 	st.compiled[tier] = code
+	if tier > st.hiTier {
+		st.hiTier = tier
+	}
 	return code, nil
 }
 
@@ -426,6 +455,9 @@ func (vm *VM) ensureOSR(st *MethodState, loopID, tier int) (CompiledCode, *Unwin
 	}
 	if tier > vm.cfg.JIT.MaxTier() {
 		tier = vm.cfg.JIT.MaxTier()
+	}
+	if tier >= maxTiers {
+		tier = maxTiers - 1
 	}
 	if st.osrTiers[loopID] >= tier {
 		return st.osr[loopID], nil
@@ -495,13 +527,12 @@ func (vm *VM) handleDeopt(st *MethodState, d *Deopt, tv *TempVector) (int64, *Un
 	// Throw away every compiled version of the method: the profile it
 	// was built from was wrong. Recompilation will happen naturally
 	// when thresholds are crossed again, with a corrected profile.
-	for t := range st.compiled {
-		delete(st.compiled, t)
-	}
-	for l := range st.osr {
-		delete(st.osr, l)
-		delete(st.osrTiers, l)
-	}
+	// (failedTiers is deliberately kept: benign compile failures are
+	// permanent for the run.)
+	st.compiled = [maxTiers]CompiledCode{}
+	st.hiTier = 0
+	clear(st.osr)
+	clear(st.osrTiers)
 	if tv != nil {
 		tv.Temps = append(tv.Temps, 0)
 	}
@@ -559,6 +590,15 @@ func (vm *VM) collect() error {
 	return vm.heap.Collect(func(yield func(int64)) {
 		for _, v := range vm.fields {
 			yield(v)
+		}
+		for i := range vm.frames {
+			f := &vm.frames[i]
+			for _, v := range f.locals {
+				yield(v)
+			}
+			for _, v := range f.stack[:f.sp] {
+				yield(v)
+			}
 		}
 		for _, scan := range vm.roots {
 			scan(yield)
