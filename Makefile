@@ -6,7 +6,7 @@
 GO      ?= go
 TIMEOUT ?= 9000s
 
-.PHONY: all build fmt vet test race resume bench bench-smoke ci
+.PHONY: all build fmt vet test race resume blame-smoke bench bench-smoke ci
 
 all: ci
 
@@ -26,11 +26,18 @@ vet:
 test: build
 	$(GO) test -timeout $(TIMEOUT) ./...
 
-# Race-enabled run of the packages with real concurrency (the parallel
-# campaign engine and the compilation-space enumerator live in
-# internal/harness; the root package drives them from benchmarks).
+# Race-enabled run of the packages with real concurrency: the parallel
+# campaign engine (internal/harness), the per-VM DisablePasses plumbing
+# that concurrent bisection probes rely on (internal/jit, internal/vm),
+# and the root package that drives them from benchmarks.
 race:
-	$(GO) test -race -timeout $(TIMEOUT) ./internal/harness/ .
+	$(GO) test -race -timeout $(TIMEOUT) ./internal/harness/ ./internal/jit/ ./internal/vm/ .
+
+# Blame smoke gate: bisect the flagship GCM store-sink reproducer and
+# assert the behavior-derived localization names gcm (plus the rest of
+# the fast blame-engine suite — verdicts, budget, determinism).
+blame-smoke:
+	$(GO) test -timeout $(TIMEOUT) ./internal/blame/
 
 # Resume-determinism gate: interrupt+resume must be byte-identical to
 # an uninterrupted campaign at workers 1/2/4, including after a torn
@@ -54,4 +61,4 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/bench -seeds 3 -benchtime 0.05 -out BENCH_campaign.json
 
-ci: fmt vet test race resume bench-smoke
+ci: fmt vet test race resume blame-smoke bench-smoke

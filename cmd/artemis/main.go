@@ -14,6 +14,7 @@
 //	artemis -journal run.journal -seeds 100000     # crash-safe campaign
 //	artemis -journal run.journal -resume ...       # continue after a crash
 //	artemis -corpus corpus/ -seeds 1000            # persist + auto-reduce findings
+//	artemis -blame -corpus corpus/ -seeds 1000     # + localize guilty passes / minimal space
 //
 // Campaign output — including the -metrics JSON — is byte-identical
 // for any -workers value: seeds run in parallel but merge
@@ -53,6 +54,8 @@ func main() {
 	resume := flag.Bool("resume", false, "resume an interrupted campaign from -journal, skipping already-journaled seeds")
 	corpusDir := flag.String("corpus", "", "persist every novel finding (seed, mutant, auto-reduced reproducer) under this directory")
 	reduceBudget := flag.Int("reducebudget", 0, "keep-predicate evaluations per finding for in-campaign auto-reduction (0 = default, negative disables)")
+	blameOn := flag.Bool("blame", false, "localize every first-seen finding: bisect the guilty pass set and shrink the forced-compilation method set; prints the behavior-derived Table 2")
+	blameBudget := flag.Int("blamebudget", 0, "probe VM runs per fault localization (0 = default)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
 	flag.Parse()
@@ -90,6 +93,7 @@ func main() {
 				},
 				Seeds: *seeds, SeedBase: *seedBase,
 				Workers: *workers, SeedTimeout: *seedTimeout, Progress: progress,
+				Blame: *blameOn, BlameBudget: *blameBudget,
 			})
 			all = append(all, stats)
 		}
@@ -98,6 +102,9 @@ func main() {
 		}
 		if *table2 {
 			fmt.Println(harness.FormatTable2(all))
+		}
+		if *blameOn {
+			fmt.Println(harness.FormatBlameTable(all))
 		}
 		writeMetrics(*metricsOut, all)
 	case *table4:
@@ -118,8 +125,12 @@ func main() {
 			SeedBase:    *seedBase,
 			Comparative: true,
 			Workers:     *workers, SeedTimeout: *seedTimeout, Progress: progress,
+			Blame: *blameOn, BlameBudget: *blameBudget,
 		})
 		fmt.Println(harness.FormatTable4(stats))
+		if *blameOn {
+			fmt.Println(harness.FormatBlameTable([]*harness.CampaignStats{stats}))
+		}
 		writeMetrics(*metricsOut, []*harness.CampaignStats{stats})
 	default:
 		prof, err := profiles.Get(*profileName)
@@ -137,6 +148,7 @@ func main() {
 			Workers: *workers, SeedTimeout: *seedTimeout, Progress: progress,
 			JournalPath: *journalPath, Resume: *resume,
 			CorpusDir: *corpusDir, ReduceBudget: *reduceBudget,
+			Blame: *blameOn, BlameBudget: *blameBudget,
 		})
 		if err != nil {
 			fatal(err)
@@ -153,6 +165,9 @@ func main() {
 				extra = " fixed-by=" + f.FixedBy
 			}
 			fmt.Printf("  [%s] %-36s x%d seed=%d detail=%q%s\n", f.Kind, f.Component, f.Count, f.SeedID, f.Detail, extra)
+		}
+		if *blameOn {
+			fmt.Println(harness.FormatBlameTable([]*harness.CampaignStats{stats}))
 		}
 		if *selfcheck {
 			if len(stats.Distinct) > 0 {

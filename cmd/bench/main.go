@@ -18,6 +18,8 @@ import (
 	"os"
 	"testing"
 
+	"artemis/internal/blame"
+	"artemis/internal/bugs"
 	"artemis/internal/bytecode"
 	"artemis/internal/fuzz"
 	"artemis/internal/harness"
@@ -45,6 +47,10 @@ type report struct {
 	} `json:"campaign"`
 	MutateCompile benchJSON `json:"mutate_compile"`
 	Interpreter   benchJSON `json:"interpreter"`
+	// Blame measures one full fault localization (pass bisection +
+	// space shrink) of the flagship GCM reproducer — the cost a
+	// campaign pays per first-seen finding when -blame is on.
+	Blame benchJSON `json:"blame"`
 }
 
 func main() {
@@ -82,6 +88,9 @@ func main() {
 	fmt.Fprintln(os.Stderr, "bench: interpreter...")
 	r.Interpreter = run(benchInterpreter())
 
+	fmt.Fprintln(os.Stderr, "bench: fault localization...")
+	r.Blame = run(benchBlame(prof))
+
 	data, err := json.MarshalIndent(&r, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -90,10 +99,11 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "bench: report written to %s\n", *out)
-	fmt.Printf("campaign %.2f runs/s | mutate+compile %d ns/op %d allocs/op | interpreter %d ns/op %d allocs/op\n",
+	fmt.Printf("campaign %.2f runs/s | mutate+compile %d ns/op %d allocs/op | interpreter %d ns/op %d allocs/op | blame %d ns/op\n",
 		r.Campaign.RunsPerSec,
 		r.MutateCompile.NsPerOp, r.MutateCompile.AllocsPerOp,
-		r.Interpreter.NsPerOp, r.Interpreter.AllocsPerOp)
+		r.Interpreter.NsPerOp, r.Interpreter.AllocsPerOp,
+		r.Blame.NsPerOp)
 }
 
 // benchMutateCompile measures one mutant's front-end cost the way a
@@ -137,6 +147,40 @@ func benchInterpreter() func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			vm.Run(vm.Config{Scratch: scratch}, bp)
+		}
+	}
+}
+
+// benchBlame measures one complete fault localization of the flagship
+// GCM store-sink reproducer: the per-finding bisection cost campaigns
+// pay with Blame enabled.
+func benchBlame(prof *profiles.Profile) func(b *testing.B) {
+	prog, err := parser.Parse(`class T {
+        int l = 0;
+        void g() {
+            for (int i = 0; i < 10; i++) {
+                for (int w = 0; w < 13; w += 4) { }
+                l += 2;
+            }
+        }
+        void main() {
+            for (int r = 0; r < 2000; r++) { l = 0; g(); }
+            print(l);
+        }
+    }`)
+	if err != nil {
+		fatal(err)
+	}
+	ref := vm.Run(vm.Config{}, harness.Compile(prog)).Output
+	symptom := func(out *vm.Output) bool { return !out.Equivalent(ref) }
+	cfg := blame.Config{Profile: prof, Bugs: bugs.NewSet("hs-gcm-store-sink")}
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res := blame.Localize(prog, symptom, cfg)
+			if res.PassVerdict != blame.VerdictLocalized {
+				b.Fatalf("localization regressed: %s", res.PassVerdict)
+			}
 		}
 	}
 }

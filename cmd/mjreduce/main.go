@@ -14,21 +14,29 @@
 // is nothing to reduce, and proceeding would shrink toward an
 // unrelated program), 2 on usage errors.
 //
+// With -blame, the reduced reproducer is additionally fault-localized
+// (internal/blame): the guilty optimization passes and the minimal
+// forced-compilation method set are reported on stderr.
+//
 // Usage:
 //
 //	mjreduce -profile openj9like mutant.mj > reduced.mj
+//	mjreduce -profile openj9like -blame crash.mj > reduced.mj
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"artemis/internal/blame"
 	"artemis/internal/harness"
 	"artemis/internal/lang/ast"
 	"artemis/internal/lang/parser"
 	"artemis/internal/profiles"
 	"artemis/internal/reduce"
+	"artemis/internal/vm"
 )
 
 func main() {
@@ -36,6 +44,7 @@ func main() {
 	mode := flag.String("mode", "diff", "predicate: diff | crash")
 	steps := flag.Int64("steps", 100_000_000, "per-run step budget")
 	rounds := flag.Int("rounds", 12, "max reduction rounds")
+	blameOn := flag.Bool("blame", false, "after reduction, bisect the guilty pass set and shrink the forced-compilation method set")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -71,7 +80,40 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "mjreduce: %d -> %d statements\n", before, ast.ProgramSize(small))
+	if *blameOn {
+		localize(small, prof, *mode, *steps)
+	}
 	fmt.Print(ast.Print(small))
+}
+
+// localize fault-localizes the reduced reproducer and reports the
+// result on stderr (stdout stays the reduced program only).
+func localize(prog *ast.Program, prof *profiles.Profile, mode string, steps int64) {
+	var symptom blame.Symptom
+	if mode == "crash" {
+		symptom = func(out *vm.Output) bool { return out.Term == vm.TermCrash }
+	} else {
+		intCfg := prof.InterpreterConfig()
+		intCfg.StepLimit = steps
+		ref := vm.Run(intCfg, harness.Compile(prog)).Output
+		if ref.Term == vm.TermTimeout {
+			fmt.Fprintln(os.Stderr, "mjreduce: blame skipped (interpreted reference times out)")
+			return
+		}
+		symptom = func(out *vm.Output) bool {
+			return out.Term != vm.TermTimeout && !out.Equivalent(ref)
+		}
+	}
+	res := blame.Localize(prog, symptom, blame.Config{Profile: prof, Bugs: prof.BugSet(), StepLimit: steps})
+	fmt.Fprintf(os.Stderr, "mjreduce: blame: passes %s (%d probe runs)\n", res.PassLabel(), res.Runs)
+	if res.SpaceVerdict == blame.VerdictMinimal {
+		fmt.Fprintf(os.Stderr, "mjreduce: blame: minimal forced-compilation set {%s}\n", strings.Join(res.MinimalMethods, ","))
+	} else {
+		fmt.Fprintf(os.Stderr, "mjreduce: blame: space %s\n", res.SpaceVerdict)
+	}
+	if res.IRInvariant != "" {
+		fmt.Fprintf(os.Stderr, "mjreduce: blame: IR invariant broken: %s\n", res.IRInvariant)
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,295 @@
+// Package blame automates the paper's manual triage step (§4.2): given
+// a reproducer program and a symptom predicate, it localizes a finding
+// to (a) the minimal set of optimizing-tier passes whose disabling
+// makes the symptom disappear, and (b) a minimal compilation-space
+// point — the smallest forced-compilation method set that still
+// triggers the divergence (delta debugging over
+// vm.ForcedPolicy.Methods). An extra probe runs the compiler with SSA
+// invariant validation on, so a "pass mis-compiled" report can be told
+// apart from "pass broke the IR and a later stage mis-lowered it".
+//
+// Everything here is a pure function of (program, symptom, config):
+// probes run fresh single-use VMs, consume a deterministic run budget,
+// and visit candidates in canonical order, so blame results are
+// byte-identical across campaign worker counts and across resumes.
+package blame
+
+import (
+	"sort"
+	"strings"
+
+	"artemis/internal/bugs"
+	"artemis/internal/bytecode"
+	"artemis/internal/jit"
+	"artemis/internal/lang/ast"
+	"artemis/internal/lang/sem"
+	"artemis/internal/profiles"
+	"artemis/internal/vm"
+)
+
+// DefaultBudget caps probe VM runs per localization when
+// Config.Budget is 0. Pass bisection needs at most 2+len(jit.PassNames)
+// runs and the space shrink 1+len(methods); the cap exists so a
+// pathological reproducer (many methods, slow runs) cannot stall a
+// campaign's reducer goroutine indefinitely.
+const DefaultBudget = 96
+
+// Config parameterizes one localization.
+type Config struct {
+	// Profile supplies the VM configuration the finding manifested
+	// under.
+	Profile *profiles.Profile
+	// Bugs is the seeded-defect set active when the finding was made.
+	Bugs bugs.Set
+	// StepLimit bounds each probe run (0 = the VM default).
+	StepLimit int64
+	// Budget caps total probe VM runs (0 = DefaultBudget).
+	Budget int
+}
+
+// Symptom decides whether one probe run still exhibits the finding
+// being localized. The harness builds it from the finding's dedup
+// signature (crashes) or from an interpreted reference (miscompiles).
+type Symptom func(out *vm.Output) bool
+
+// Pass-localization verdicts.
+const (
+	// VerdictLocalized: GuiltyPasses is a 1-minimal set whose
+	// disabling makes the symptom disappear.
+	VerdictLocalized = "localized"
+	// VerdictOutsidePipeline: the symptom survives with every
+	// optimizing pass disabled — the defect lives in SSA construction,
+	// lowering/codegen, the runtime, or a non-pass compiler stage.
+	VerdictOutsidePipeline = "outside-pass-pipeline"
+	// VerdictNotReproduced: the reproducer no longer triggers the
+	// symptom under the default policy (nothing to bisect).
+	VerdictNotReproduced = "not-reproduced"
+	// VerdictBudget: the probe budget ran out mid-bisection.
+	VerdictBudget = "budget-exhausted"
+	// VerdictNoOptTier: the profile has no optimizing tier, so there
+	// is no pass pipeline to bisect (e.g. artlike, MaxTier 1).
+	VerdictNoOptTier = "no-optimizing-tier"
+)
+
+// Space-localization verdicts.
+const (
+	// VerdictMinimal: MinimalMethods is a 1-minimal forced-compilation
+	// set still triggering the symptom.
+	VerdictMinimal = "minimal"
+	// VerdictNotInForcedSpace: force-compiling every method does not
+	// trigger the symptom — it needs counters, OSR, or deoptimization
+	// behaviour the forced point does not produce.
+	VerdictNotInForcedSpace = "not-in-forced-space"
+)
+
+// Result is one finding's localization, serialized as blame.json in
+// corpus entries.
+type Result struct {
+	// GuiltyPasses is the minimal pass set (canonical pipeline order)
+	// whose disabling makes the symptom disappear; nil unless
+	// PassVerdict is VerdictLocalized.
+	GuiltyPasses []string `json:"guilty_passes,omitempty"`
+	PassVerdict  string   `json:"pass_verdict"`
+
+	// MinimalMethods is the minimal forced-compilation method set that
+	// still triggers the symptom; nil unless SpaceVerdict is
+	// VerdictMinimal.
+	MinimalMethods []string `json:"minimal_methods,omitempty"`
+	SpaceVerdict   string   `json:"space_verdict"`
+
+	// IRInvariant holds the SSA-validator crash detail when compiling
+	// the reproducer with invariant checks breaks — i.e. some pass
+	// corrupts the IR itself rather than emitting wrong-but-valid code.
+	IRInvariant string `json:"ir_invariant,omitempty"`
+
+	// Runs is the number of probe VM runs spent.
+	Runs int `json:"runs"`
+}
+
+// PassLabel renders the guilty set for tables: "gcm", "gvn+licm", or
+// a parenthesized verdict when no pass was localized.
+func (r *Result) PassLabel() string {
+	if r == nil {
+		return "(not localized)"
+	}
+	if r.PassVerdict == VerdictLocalized && len(r.GuiltyPasses) > 0 {
+		return strings.Join(r.GuiltyPasses, "+")
+	}
+	return "(" + r.PassVerdict + ")"
+}
+
+// engine carries one localization's shared state.
+type engine struct {
+	cfg     Config
+	bp      *bytecode.Program
+	symptom Symptom
+	budget  int
+	runs    int
+}
+
+// Localize bisects prog's finding, spending at most cfg.Budget probe
+// runs. It never mutates shared state and is safe to call from any
+// single goroutine (probes build fresh VMs).
+func Localize(prog *ast.Program, symptom Symptom, cfg Config) *Result {
+	budget := cfg.Budget
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	e := &engine{
+		cfg:     cfg,
+		bp:      bytecode.MustCompile(sem.MustAnalyze(prog)),
+		symptom: symptom,
+		budget:  budget,
+	}
+	res := &Result{}
+	e.bisectPasses(res)
+	e.shrinkSpace(res)
+	res.Runs = e.runs
+	return res
+}
+
+// run executes one probe: the profile VM with the configured defect
+// set, optionally with passes disabled, IR validation, or a policy
+// override. Returns nil once the budget is exhausted.
+func (e *engine) run(disable []string, policy vm.Policy, validateIR bool) *vm.Output {
+	if e.runs >= e.budget {
+		return nil
+	}
+	e.runs++
+	cfg := e.cfg.Profile.VMConfigWithBugs(e.cfg.Bugs)
+	cfg.StepLimit = e.cfg.StepLimit
+	cfg.DisablePasses = disable
+	cfg.ValidateIR = validateIR
+	if policy != nil {
+		cfg.Policy = policy
+	}
+	return vm.Run(cfg, e.bp).Output
+}
+
+// bisectPasses finds the minimal guilty pass set: verify the symptom
+// reproduces, check it disappears with the whole pipeline off, then
+// greedily re-enable passes one at a time (canonical order), keeping a
+// pass out of the guilty set whenever re-enabling it leaves the
+// symptom gone. The result is 1-minimal: removing any single guilty
+// pass from the disable set brings the symptom back.
+func (e *engine) bisectPasses(res *Result) {
+	if e.cfg.Profile.MaxTier < 2 {
+		res.PassVerdict = VerdictNoOptTier
+		return
+	}
+	base := e.run(nil, nil, false)
+	if base == nil {
+		res.PassVerdict = VerdictBudget
+		return
+	}
+	if !e.symptom(base) {
+		res.PassVerdict = VerdictNotReproduced
+		return
+	}
+
+	// One probe with SSA invariant validation: does some pass break
+	// the IR itself on this reproducer?
+	if v := e.run(nil, nil, true); v != nil && v.Term == vm.TermCrash &&
+		strings.Contains(v.Detail, "assertion failure in IR Validator") {
+		res.IRInvariant = v.Detail
+	}
+
+	allOff := e.run(jit.PassNames, nil, false)
+	if allOff == nil {
+		res.PassVerdict = VerdictBudget
+		return
+	}
+	if e.symptom(allOff) {
+		res.PassVerdict = VerdictOutsidePipeline
+		return
+	}
+
+	guilty := append([]string(nil), jit.PassNames...)
+	for _, p := range jit.PassNames {
+		trial := without(guilty, p)
+		if len(trial) == len(guilty) {
+			continue // already dropped
+		}
+		out := e.run(trial, nil, false)
+		if out == nil {
+			res.PassVerdict = VerdictBudget
+			return
+		}
+		if !e.symptom(out) {
+			guilty = trial // p is innocent: symptom stays gone without it
+		}
+	}
+	res.GuiltyPasses = guilty
+	res.PassVerdict = VerdictLocalized
+}
+
+// shrinkSpace delta-debugs the forced-compilation method set: start
+// from the "compile everything" point of the compilation space; if it
+// triggers the symptom, greedily flip methods back to interpretation,
+// keeping each flip that preserves the symptom. The surviving set is a
+// 1-minimal compilation-space point for the finding.
+func (e *engine) shrinkSpace(res *Result) {
+	methods := make([]string, 0, len(e.bp.Methods))
+	for i, m := range e.bp.Methods {
+		if i == e.bp.ClinitIndex {
+			continue // <clinit> runs outside policy dispatch
+		}
+		methods = append(methods, m.Name)
+	}
+	sort.Strings(methods)
+
+	forced := func(compiled map[string]bool) vm.Policy {
+		choices := make(map[string]vm.ForceChoice, len(methods))
+		for _, m := range methods {
+			if compiled[m] {
+				choices[m] = vm.ForceCompile
+			} else {
+				choices[m] = vm.ForceInterpret
+			}
+		}
+		return &vm.ForcedPolicy{Tier: e.cfg.Profile.MaxTier, Methods: choices, DisableOSR: true}
+	}
+
+	compiled := make(map[string]bool, len(methods))
+	for _, m := range methods {
+		compiled[m] = true
+	}
+	out := e.run(nil, forced(compiled), false)
+	if out == nil {
+		res.SpaceVerdict = VerdictBudget
+		return
+	}
+	if !e.symptom(out) {
+		res.SpaceVerdict = VerdictNotInForcedSpace
+		return
+	}
+	for _, m := range methods {
+		compiled[m] = false
+		out := e.run(nil, forced(compiled), false)
+		if out == nil {
+			res.SpaceVerdict = VerdictBudget
+			return
+		}
+		if !e.symptom(out) {
+			compiled[m] = true // needed: flipping it loses the symptom
+		}
+	}
+	for _, m := range methods {
+		if compiled[m] {
+			res.MinimalMethods = append(res.MinimalMethods, m)
+		}
+	}
+	res.SpaceVerdict = VerdictMinimal
+}
+
+// without returns s minus one occurrence of x (s unchanged when x is
+// absent).
+func without(s []string, x string) []string {
+	out := make([]string, 0, len(s))
+	for _, v := range s {
+		if v != x {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"artemis/internal/blame"
 	"artemis/internal/lang/ast"
 	"artemis/internal/profiles"
 	"artemis/internal/vm"
@@ -67,6 +68,15 @@ type CampaignOptions struct {
 	// in-campaign auto-reduction (0 = DefaultReduceBudget; negative
 	// disables reduction, corpus entries then hold only the originals).
 	ReduceBudget int
+	// Blame enables automatic fault localization (internal/blame) for
+	// every first-seen crash/mis-compilation finding: the guilty-pass
+	// bisection and minimal compilation-space shrink run on the
+	// reducer, attach to DedupFinding.Blame, and (with a CorpusDir)
+	// persist as blame.json per entry.
+	Blame bool
+	// BlameBudget caps probe VM runs per localization
+	// (0 = blame.DefaultBudget).
+	BlameBudget int
 
 	// seedHook runs at the start of each seed (test-only: panic and
 	// timeout injection).
@@ -77,6 +87,10 @@ type CampaignOptions struct {
 type DedupFinding struct {
 	Finding
 	Count int
+	// Blame is the automatic fault localization for this finding; nil
+	// unless the campaign ran with CampaignOptions.Blame (or the
+	// finding kind has no symptom predicate, e.g. performance).
+	Blame *blame.Result
 }
 
 // CampaignStats aggregates one campaign.
@@ -140,6 +154,21 @@ func (cs *CampaignStats) ManifestationsByComponent() map[string]int {
 	for _, f := range cs.Distinct {
 		if f.Kind == CrashFinding {
 			m[f.Component] += f.Count
+		}
+	}
+	return m
+}
+
+// BlameByPass returns distinct-finding counts keyed by localized
+// guilty-pass label ("gcm", "gvn+licm", or a parenthesized verdict
+// like "(outside-pass-pipeline)") over findings that were localized.
+// This is the behavior-derived Table 2 view: unlike ByComponent it
+// uses no injected metadata, only bisection outcomes.
+func (cs *CampaignStats) BlameByPass() map[string]int {
+	m := map[string]int{}
+	for _, f := range cs.Distinct {
+		if f.Blame != nil {
+			m[f.Blame.PassLabel()]++
 		}
 	}
 	return m
@@ -222,6 +251,9 @@ func RunResumableCampaign(opts CampaignOptions) (*CampaignStats, error) {
 			return nil, err
 		}
 		m.corpus = c
+	}
+	if opts.Blame {
+		m.blamer = newBlamer(opts)
 	}
 	runCampaignParallel(opts, workers, m, cached)
 	m.stats.Elapsed = time.Since(start)
@@ -388,6 +420,54 @@ func FormatTable2(stats []*CampaignStats) string {
 		}
 		if len(keys) == 0 {
 			b.WriteString("  (no crashes)\n")
+		}
+	}
+	return b.String()
+}
+
+// FormatBlameTable renders the behavior-derived Table 2 analogue:
+// distinct findings grouped by the guilty pass set that automatic
+// bisection localized them to, plus one detail line per localized
+// finding (corpus entry name, guilty passes, minimal forced-compilation
+// set). Where ByComponent/FormatTable2 reads the injected defect tags,
+// this table is computed purely from observed behaviour — on the
+// seeded-bug corpus the two views are expected to agree.
+func FormatBlameTable(stats []*CampaignStats) string {
+	var b strings.Builder
+	b.WriteString("Table 2 (behavior-derived): guilty passes localized by bisection\n")
+	for _, s := range stats {
+		fmt.Fprintf(&b, "\n%s:\n", s.Profile)
+		byPass := s.BlameByPass()
+		keys := make([]string, 0, len(byPass))
+		for k := range byPass {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if byPass[keys[i]] != byPass[keys[j]] {
+				return byPass[keys[i]] > byPass[keys[j]]
+			}
+			return keys[i] < keys[j]
+		})
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %-36s %d distinct\n", k, byPass[k])
+		}
+		if len(keys) == 0 {
+			b.WriteString("  (no localized findings)\n")
+			continue
+		}
+		b.WriteString("  localizations:\n")
+		for _, f := range s.Distinct {
+			if f.Blame == nil {
+				continue
+			}
+			space := "(" + f.Blame.SpaceVerdict + ")"
+			if f.Blame.SpaceVerdict == blame.VerdictMinimal {
+				space = "{" + strings.Join(f.Blame.MinimalMethods, ",") + "}"
+			}
+			fmt.Fprintf(&b, "    %-52s %-24s space %s\n", EntryName(f.Signature), f.Blame.PassLabel(), space)
+			if f.Blame.IRInvariant != "" {
+				fmt.Fprintf(&b, "      IR invariant broken: %s\n", f.Blame.IRInvariant)
+			}
 		}
 	}
 	return b.String()

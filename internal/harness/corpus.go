@@ -9,6 +9,10 @@
 //	                               when it provably re-triggers the same
 //	                               signature (see keep.go)
 //	<corpus>/<entry>/finding.json  the finding detail + reduction report
+//	<corpus>/<entry>/blame.json    automatic fault localization (guilty
+//	                               pass set + minimal compilation-space
+//	                               point), present when the campaign ran
+//	                               with Blame enabled
 //
 // finding.json is written last, so its presence marks a complete
 // entry; a campaign killed mid-entry simply rewrites the entry on
@@ -26,6 +30,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"artemis/internal/blame"
 	"artemis/internal/fuzz"
 	"artemis/internal/lang/ast"
 	"artemis/internal/lang/parser"
@@ -118,26 +123,37 @@ func EntryName(signature string) string {
 // Idempotent: an entry whose finding.json already exists is left
 // untouched, which is what makes resumed campaigns converge on the
 // same corpus instead of re-reducing every replayed finding.
-func (c *corpusWriter) record(f Finding, mutantSrc string) error {
+//
+// It returns the best reproducer source for downstream stages (fault
+// localization): the auto-reduced program when reduction succeeded,
+// else the mutant, else the seed. On the idempotent-skip path the same
+// preference order is read back from the entry, so a resumed campaign
+// localizes against exactly the source a fresh one would.
+func (c *corpusWriter) record(f Finding, mutantSrc string) (string, error) {
 	dir := filepath.Join(c.dir, EntryName(f.Signature))
 	if _, err := os.Stat(filepath.Join(dir, "finding.json")); err == nil {
-		return nil
+		for _, name := range []string{"reduced.mj", "mutant.mj", "seed.mj"} {
+			if b, err := os.ReadFile(filepath.Join(dir, name)); err == nil {
+				return string(b), nil
+			}
+		}
+		return "", nil
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
+		return "", err
 	}
 
 	// The seed program is regenerated from its ID — generation is
 	// deterministic, so this is exactly the program the worker ran.
 	seedSrc := ast.Print(fuzz.Generate(fuzz.Options{Seed: f.SeedID}))
 	if err := os.WriteFile(filepath.Join(dir, "seed.mj"), []byte(seedSrc), 0o644); err != nil {
-		return err
+		return "", err
 	}
 	reproSrc := seedSrc
 	if mutantSrc != "" {
 		reproSrc = mutantSrc
 		if err := os.WriteFile(filepath.Join(dir, "mutant.mj"), []byte(mutantSrc), 0o644); err != nil {
-			return err
+			return "", err
 		}
 	}
 
@@ -156,17 +172,40 @@ func (c *corpusWriter) record(f Finding, mutantSrc string) error {
 		cf.Reduced = true
 		cf.SizeStatements = mustSize(reproSrc)
 		cf.ReducedSize = ast.ProgramSize(reduced)
-		if err := os.WriteFile(filepath.Join(dir, "reduced.mj"), []byte(ast.Print(reduced)), 0o644); err != nil {
-			return err
+		reproSrc = ast.Print(reduced)
+		if err := os.WriteFile(filepath.Join(dir, "reduced.mj"), []byte(reproSrc), 0o644); err != nil {
+			return "", err
 		}
 	}
 
 	payload, err := json.MarshalIndent(cf, "", "  ")
 	if err != nil {
-		return err
+		return "", err
 	}
 	// finding.json lands last: the entry's completeness marker.
-	return os.WriteFile(filepath.Join(dir, "finding.json"), append(payload, '\n'), 0o644)
+	if err := os.WriteFile(filepath.Join(dir, "finding.json"), append(payload, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return reproSrc, nil
+}
+
+// writeBlame persists one finding's fault localization as blame.json
+// in its corpus entry. Idempotent like record: an existing blame.json
+// is left untouched, so resumed campaigns do not churn corpus bytes.
+func (c *corpusWriter) writeBlame(signature string, res *blame.Result) error {
+	dir := filepath.Join(c.dir, EntryName(signature))
+	path := filepath.Join(dir, "blame.json")
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	payload, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(payload, '\n'), 0o644)
 }
 
 // autoReduce shrinks the reproducer under the signature-preserving

@@ -147,6 +147,13 @@ type merger struct {
 	journal    *journal.Writer
 	corpus     *corpusWriter
 	persistErr error
+
+	// blamer, when non-nil (CampaignOptions.Blame), localizes every
+	// first-seen crash/mis-compilation finding on the reducer. Results
+	// attach to DedupFinding.Blame and, with a corpus, to blame.json.
+	// Never journaled: localization is deterministic given the
+	// reproducer, so resumes recompute identical results.
+	blamer *blamer
 }
 
 func newMerger(opts CampaignOptions, start time.Time) *merger {
@@ -206,14 +213,33 @@ func (m *merger) add(out seedOutcome) {
 		if src != "" && len(m.stats.Examples) < 5 {
 			m.stats.Examples = append(m.stats.Examples, src)
 		}
+		reproSrc := src
 		if m.corpus != nil {
 			// First sighting of this signature: persist (and
 			// auto-reduce) its reproducer. Runs here, on the reducer,
 			// so the corpus never races and entry order is the
 			// deterministic discovery order. Replayed findings hit the
-			// idempotence check and return immediately.
-			if err := m.corpus.record(f, src); err != nil && m.persistErr == nil {
+			// idempotence check and return immediately (handing back
+			// the recorded reproducer for localization below).
+			recorded, err := m.corpus.record(f, src)
+			if err != nil && m.persistErr == nil {
 				m.persistErr = err
+			}
+			if recorded != "" {
+				reproSrc = recorded
+			}
+		}
+		if m.blamer != nil {
+			// Localize on the best reproducer (reduced > mutant >
+			// seed). Also on the reducer, also deterministic, so the
+			// blame table is identical at any worker count.
+			if res := m.blamer.localize(f, reproSrc); res != nil {
+				m.stats.Distinct[len(m.stats.Distinct)-1].Blame = res
+				if m.corpus != nil {
+					if err := m.corpus.writeBlame(f.Signature, res); err != nil && m.persistErr == nil {
+						m.persistErr = err
+					}
+				}
 			}
 		}
 	}

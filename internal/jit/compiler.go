@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"artemis/internal/bugs"
+	"artemis/internal/jit/ir"
 	"artemis/internal/vm"
 )
 
@@ -18,7 +19,21 @@ type Options struct {
 	// MinBranchSamples is the profile confidence needed before the
 	// optimizing tier speculates on a one-sided branch.
 	MinBranchSamples int64
+	// DisablePasses names optimizing-tier passes this compiler skips
+	// (see PassNames; "fold1"/"fold2" address the two constant-folding
+	// runs individually). Per-instance state — two compilers with
+	// different sets can run concurrently, which pass bisection needs.
+	DisablePasses []string
+	// ValidateIR checks SSA invariants after construction and after
+	// every pass; a violation is a compiler crash whose message names
+	// the pass that broke the IR.
+	ValidateIR bool
 }
+
+// PassNames lists the optimizing-tier passes in pipeline order — the
+// canonical unit set for DisablePasses and pass bisection. "fold"
+// covers both constant-folding runs (fold1/fold2 select one).
+var PassNames = []string{"valprop", "fold", "foldbr", "gvn", "licm", "bce", "gcm"}
 
 // Compiler implements vm.JITCompiler with two tiers:
 //
@@ -31,7 +46,8 @@ type Options struct {
 //	         global code motion; the analogue of HotSpot C2 / OpenJ9's
 //	         warm-and-above optimizer.
 type Compiler struct {
-	opts Options
+	opts    Options
+	disable map[string]bool // Options.DisablePasses as a set (nil when empty)
 
 	// Stats
 	Compilations int64
@@ -48,7 +64,14 @@ func New(opts Options) *Compiler {
 	if opts.MinBranchSamples <= 0 {
 		opts.MinBranchSamples = 8
 	}
-	return &Compiler{opts: opts}
+	c := &Compiler{opts: opts}
+	if len(opts.DisablePasses) > 0 {
+		c.disable = make(map[string]bool, len(opts.DisablePasses))
+		for _, p := range opts.DisablePasses {
+			c.disable[p] = true
+		}
+	}
+	return c
 }
 
 var _ vm.JITCompiler = (*Compiler)(nil)
@@ -98,36 +121,53 @@ func (c *Compiler) Compile(req vm.CompileRequest) (code vm.CompiledCode, cerr *v
 	}
 	f := buildSSA(req.Prog, req.MethodIndex, req.OSRLoopID, req.Profile, cfg)
 
+	// A pass is disabled when either the compiler's own set or the
+	// per-request set (threaded from vm.Config.DisablePasses) names it.
+	disabled := func(name string) bool {
+		return c.disable[name] || req.DisablePasses[name]
+	}
+	validate := c.opts.ValidateIR || req.ValidateIR
+	checkIR := func(stage string) {
+		if !validate {
+			return
+		}
+		if err := ir.Validate(f); err != nil {
+			crashf("IR Validator", "after %s in %s: %v", stage, f.Name, err)
+		}
+	}
+	checkIR("build")
+
 	// Per-pass optimization counts, keyed by the same pass names
-	// DebugDisablePass accepts; surfaced through the compile result as
+	// DisablePasses accepts; surfaced through the compile result as
 	// vm.CompileStats.
 	passOpts := map[string]int64{}
 	runPass := func(name string, pass func() int) {
 		passOpts[name] += int64(pass())
+		checkIR(name)
 	}
 	if tier >= 2 {
-		if DebugDisablePass != "valprop" {
+		if !disabled("valprop") {
 			runPass("valprop", func() int { return localValueProp(f, bugSet) })
 		}
-		if DebugDisablePass != "fold" && DebugDisablePass != "fold1" {
+		if !disabled("fold") && !disabled("fold1") {
 			runPass("fold", func() int { return foldConstants(f, bugSet) })
 		}
-		if DebugDisablePass != "fold" && DebugDisablePass != "foldbr" {
+		if !disabled("fold") && !disabled("foldbr") {
 			runPass("foldbr", func() int { return foldBranches(f) })
 		}
-		if DebugDisablePass != "gvn" {
+		if !disabled("gvn") {
 			runPass("gvn", func() int { return gvn(f, bugSet) })
 		}
-		if DebugDisablePass != "licm" {
+		if !disabled("licm") {
 			runPass("licm", func() int { return loopOptimize(f, bugSet) })
 		}
-		if DebugDisablePass != "bce" {
+		if !disabled("bce") {
 			runPass("bce", func() int { return boundsCheckElim(f, bugSet) })
 		}
-		if DebugDisablePass != "gcm" {
+		if !disabled("gcm") {
 			runPass("gcm", func() int { return globalCodeMotion(f, bugSet) })
 		}
-		if DebugDisablePass != "fold" && DebugDisablePass != "fold2" {
+		if !disabled("fold") && !disabled("fold2") {
 			runPass("fold", func() int { return foldConstants(f, bugSet) })
 		}
 		shapeChecks(f, bugSet)
@@ -142,8 +182,3 @@ func (c *Compiler) Compile(req vm.CompileRequest) (code vm.CompiledCode, cerr *v
 	}
 	return out, nil
 }
-
-// DebugDisablePass, when set to a pass name ("valprop", "fold", "gvn",
-// "licm", "bce", "gcm"), skips that pass in the tier-2 pipeline. Used
-// only by debugging tools and pass-bisection tests.
-var DebugDisablePass string

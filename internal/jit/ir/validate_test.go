@@ -1,0 +1,159 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// validDiamond builds a well-formed diamond with a phi at the merge.
+func validDiamond() (*Func, *Block, *Block, *Block, *Block, *Value) {
+	f, a, b, c, d := buildDiamond()
+	x := f.NewValue(b, OpConst)
+	x.Aux = 1
+	y := f.NewValue(c, OpConst)
+	y.Aux = 2
+	phi := f.NewValue(d, OpPhi, x, y)
+	return f, a, b, c, d, phi
+}
+
+func wantViolation(t *testing.T, f *Func, fragment string) {
+	t.Helper()
+	err := Validate(f)
+	if err == nil {
+		t.Fatalf("Validate accepted corrupt IR (want %q)", fragment)
+	}
+	if !strings.Contains(err.Error(), fragment) {
+		t.Fatalf("violation %q does not mention %q", err, fragment)
+	}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	f, _, _, _, _, _ := validDiamond()
+	if err := Validate(f); err != nil {
+		t.Fatalf("well-formed diamond rejected: %v", err)
+	}
+}
+
+func TestValidatePhiArity(t *testing.T) {
+	f, _, _, _, _, phi := validDiamond()
+	phi.Args = phi.Args[:1] // 1 arg for 2 preds
+	wantViolation(t, f, "args for 2 preds")
+}
+
+func TestValidatePhiArgDominance(t *testing.T) {
+	f, _, b, c, _, phi := validDiamond()
+	// Swap the phi args: now the value defined in b flows in along the
+	// c edge and vice versa — neither def dominates its predecessor.
+	phi.Args[0], phi.Args[1] = phi.Args[1], phi.Args[0]
+	_ = b
+	_ = c
+	wantViolation(t, f, "does not dominate pred")
+}
+
+func TestValidateUseDominance(t *testing.T) {
+	f, _, b, c, _, _ := validDiamond()
+	// A value defined in branch b used in sibling branch c: b does not
+	// dominate c.
+	v := f.NewValue(b, OpConst)
+	v.Aux = 7
+	f.NewValue(c, OpNeg, v)
+	wantViolation(t, f, "does not dominate")
+}
+
+func TestValidateEdgeSymmetry(t *testing.T) {
+	f, _, b, _, d, _ := validDiamond()
+	// Drop d's pred entry for the b->d edge without touching b.Succs.
+	for i, p := range d.Preds {
+		if p == b {
+			d.Preds = append(d.Preds[:i], d.Preds[i+1:]...)
+			break
+		}
+	}
+	wantViolation(t, f, "succ entries")
+}
+
+func TestValidateGuardNeedsFrameState(t *testing.T) {
+	f, a, _, _, _, _ := validDiamond()
+	cond := f.NewValue(a, OpConst)
+	g := f.NewValue(a, OpGuard, cond)
+	g.FS = nil
+	wantViolation(t, f, "no frame state")
+}
+
+func TestValidatePhiRejectsFrameState(t *testing.T) {
+	f, _, _, _, _, phi := validDiamond()
+	phi.FS = &FrameState{}
+	wantViolation(t, f, "carries a frame state")
+}
+
+func TestValidateStaleBlockPointer(t *testing.T) {
+	f, a, b, _, _, _ := validDiamond()
+	v := f.NewValue(b, OpConst)
+	v.Block = a // list membership and back-pointer disagree
+	wantViolation(t, f, "stale block pointer")
+}
+
+func TestValidateEffectOrder(t *testing.T) {
+	f, a, _, _, _, _ := validDiamond()
+	call := f.NewValue(a, OpCall)
+	store := f.NewValue(a, OpPutField, call)
+	store.Aux = 0
+	// Reorder the effect list so the store precedes the call whose
+	// result it consumes: effects execute in list order, so this IR
+	// would write a value that does not exist yet.
+	vals := a.Values
+	ci, si := -1, -1
+	for i, v := range vals {
+		if v == call {
+			ci = i
+		}
+		if v == store {
+			si = i
+		}
+	}
+	vals[ci], vals[si] = vals[si], vals[ci]
+	wantViolation(t, f, "listed before its effectful arg")
+}
+
+func TestValidatePureOrderUnchecked(t *testing.T) {
+	// Global code motion parks pure values anywhere in a block;
+	// lowering schedules them by dependency. A pure def listed after
+	// its (pure) consumer must therefore be accepted.
+	f, a, _, _, _, _ := validDiamond()
+	x := f.NewValue(a, OpConst)
+	x.Aux = 3
+	neg := f.NewValue(a, OpNeg, x)
+	vals := a.Values
+	xi, ni := -1, -1
+	for i, v := range vals {
+		if v == x {
+			xi = i
+		}
+		if v == neg {
+			ni = i
+		}
+	}
+	vals[xi], vals[ni] = vals[ni], vals[xi]
+	if err := Validate(f); err != nil {
+		t.Fatalf("pure out-of-order def rejected: %v", err)
+	}
+}
+
+func TestValidateUnreachableBlockSkipsDominance(t *testing.T) {
+	// Unreachable blocks have no dominator-tree entry; structural
+	// checks still apply but dominance must not panic or misfire.
+	f, _, _, _, d, _ := validDiamond()
+	orphan := f.NewBlock()
+	orphan.Kind = BlockPlain
+	orphan.AddEdge(d)
+	// d now has 3 preds; fix the phi to match.
+	for _, v := range d.Values {
+		if v.Op == OpPhi {
+			ext := f.NewValue(orphan, OpConst)
+			v.Args = append(v.Args, ext)
+		}
+	}
+	if err := Validate(f); err != nil {
+		t.Fatalf("unreachable block broke validation: %v", err)
+	}
+}

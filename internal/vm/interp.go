@@ -345,10 +345,19 @@ func (vm *VM) interpLoop(st *MethodState, pc int, locals, stack []int64, tv *Tem
 				loopID := int(in.B)
 				st.Counters.Backedge[loopID]++
 				dec := vm.policy.OnBackEdge(st, loopID)
-				if dec.Action == ActCompile {
-					osrCode, uw := vm.ensureOSR(st, loopID, dec.Tier)
-					if uw != nil {
-						return 0, uw
+				if dec.Action != ActInterpret {
+					var osrCode CompiledCode
+					if dec.Action == ActCompile {
+						var uw *Unwind
+						osrCode, uw = vm.ensureOSR(st, loopID, dec.Tier)
+						if uw != nil {
+							return 0, uw
+						}
+					} else {
+						// ActUseCompiled: enter the cached OSR entry
+						// without a compile request (nil when the cached
+						// compilation failed benignly: keep interpreting).
+						osrCode = st.osrCode(loopID)
 					}
 					if osrCode != nil {
 						vm.osrEntries++

@@ -31,7 +31,9 @@ type Policy interface {
 	OnEntry(st *MethodState) Decision
 	// OnBackEdge is consulted at every interpreted loop back edge,
 	// after the back-edge counter has been incremented. ActCompile
-	// triggers OSR compilation at the returned tier.
+	// triggers OSR compilation at the returned tier; ActUseCompiled
+	// enters the already-cached OSR entry for the loop (a no-op when
+	// none is cached).
 	OnBackEdge(st *MethodState, loopID int) Decision
 }
 
@@ -67,7 +69,9 @@ func (p *CounterPolicy) OnBackEdge(st *MethodState, loopID int) Decision {
 		return Decision{Action: ActInterpret}
 	}
 	if st.osrTier(loopID) >= tier {
-		return Decision{Action: ActCompile, Tier: tier} // reuse cached version
+		// Reuse the cached version: requesting ActCompile here would
+		// ask for a redundant OSR recompilation on every hot back edge.
+		return Decision{Action: ActUseCompiled, Tier: tier}
 	}
 	return Decision{Action: ActCompile, Tier: tier}
 }

@@ -58,13 +58,25 @@ func (t *JITTrace) add(v TempVector) {
 		}
 	}
 	t.NTotal++
+	// Chain hash with explicit framing: every variable-length field is
+	// length-prefixed and the call index is included, so no two distinct
+	// vector sequences serialize to the same byte stream. (The earlier
+	// unframed concatenation let {Method:"a", Temps:[1]} and
+	// {Method:"a\x01", Temps:[]} collide, silently merging two distinct
+	// compilation-space points of Definition 3.3.)
 	h := fnv.New64a()
 	var b [8]byte
-	for i := 0; i < 8; i++ {
-		b[i] = byte(t.hash >> (8 * i))
+	put64 := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(x >> (8 * i))
+		}
+		h.Write(b[:])
 	}
-	h.Write(b[:])
+	put64(t.hash)
+	put64(uint64(len(v.Method)))
 	h.Write([]byte(v.Method))
+	put64(uint64(v.CallIndex))
+	put64(uint64(len(v.Temps)))
 	for _, tm := range v.Temps {
 		h.Write([]byte{byte(tm)})
 	}

@@ -26,6 +26,15 @@ type Config struct {
 	// Policy overrides the default counter policy when non-nil.
 	Policy Policy
 
+	// DisablePasses names optimizing-tier passes the JIT must skip
+	// (see jit.PassNames); threaded into every CompileRequest. This is
+	// the per-VM knob pass bisection uses: concurrent VMs can each
+	// disable a different set without interfering.
+	DisablePasses []string
+	// ValidateIR makes the JIT check SSA invariants between passes;
+	// violations surface as compiler crashes naming the guilty pass.
+	ValidateIR bool
+
 	// HeapWords bounds the array heap payload (default 1<<20 words).
 	HeapWords int64
 	// GCInterval collects every this many allocations (default 256).
@@ -129,6 +138,10 @@ func (st *MethodState) best() CompiledCode {
 
 func (st *MethodState) osrTier(loopID int) int { return st.osrTiers[loopID] }
 
+// osrCode returns the cached OSR entry for loopID (nil when none was
+// compiled yet, or when the cached compilation failed benignly).
+func (st *MethodState) osrCode(loopID int) CompiledCode { return st.osr[loopID] }
+
 // Result is what Run returns: observable output plus bookkeeping that
 // the harness and benchmarks consume.
 type Result struct {
@@ -156,6 +169,10 @@ type VM struct {
 
 	methods []*MethodState
 	policy  Policy
+
+	// disablePasses is Config.DisablePasses as a set, built once and
+	// shared read-only by every CompileRequest of the run.
+	disablePasses map[string]bool
 
 	steps         int64
 	compiledSteps int64 // subset of steps charged via Env.Step
@@ -216,6 +233,12 @@ func New(cfg Config, prog *bytecode.Program) *VM {
 	vm.policy = cfg.Policy
 	if vm.policy == nil {
 		vm.policy = &CounterPolicy{EntryThresholds: cfg.EntryThresholds, OSRThresholds: cfg.OSRThresholds}
+	}
+	if len(cfg.DisablePasses) > 0 {
+		vm.disablePasses = make(map[string]bool, len(cfg.DisablePasses))
+		for _, p := range cfg.DisablePasses {
+			vm.disablePasses[p] = true
+		}
 	}
 	return vm
 }
@@ -415,13 +438,15 @@ func (vm *VM) ensureCompiled(st *MethodState, tier int) (CompiledCode, *Unwind) 
 		return nil, nil
 	}
 	req := CompileRequest{
-		Prog:        vm.prog,
-		MethodIndex: st.Index,
-		Tier:        tier,
-		OSRLoopID:   -1,
-		Profile:     st.Profile.Snapshot(),
-		Speculate:   !vm.cfg.NoSpeculation && !st.specDisabled,
-		Recompiles:  st.Compilations,
+		Prog:          vm.prog,
+		MethodIndex:   st.Index,
+		Tier:          tier,
+		OSRLoopID:     -1,
+		Profile:       st.Profile.Snapshot(),
+		Speculate:     !vm.cfg.NoSpeculation && !st.specDisabled,
+		Recompiles:    st.Compilations,
+		DisablePasses: vm.disablePasses,
+		ValidateIR:    vm.cfg.ValidateIR,
 	}
 	code, cerr := vm.cfg.JIT.Compile(req)
 	vm.compilations++
@@ -463,13 +488,15 @@ func (vm *VM) ensureOSR(st *MethodState, loopID, tier int) (CompiledCode, *Unwin
 		return st.osr[loopID], nil
 	}
 	req := CompileRequest{
-		Prog:        vm.prog,
-		MethodIndex: st.Index,
-		Tier:        tier,
-		OSRLoopID:   loopID,
-		Profile:     st.Profile.Snapshot(),
-		Speculate:   !vm.cfg.NoSpeculation && !st.specDisabled,
-		Recompiles:  st.Compilations,
+		Prog:          vm.prog,
+		MethodIndex:   st.Index,
+		Tier:          tier,
+		OSRLoopID:     loopID,
+		Profile:       st.Profile.Snapshot(),
+		Speculate:     !vm.cfg.NoSpeculation && !st.specDisabled,
+		Recompiles:    st.Compilations,
+		DisablePasses: vm.disablePasses,
+		ValidateIR:    vm.cfg.ValidateIR,
 	}
 	code, cerr := vm.cfg.JIT.Compile(req)
 	vm.compilations++
